@@ -1,0 +1,173 @@
+//! Micro-benchmarks of the CDNA mechanisms themselves: descriptor
+//! validation/enqueue, sequence checking, the interrupt bit-vector
+//! hierarchy, mailbox event decoding, and the memory substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use cdna_core::{
+    BitVectorRing, ContextId, DmaPolicy, InterruptBitVector, ProtectionEngine, SeqChecker,
+    SeqStamper, TxRequest, VectorPort,
+};
+use cdna_mem::{BufferSlice, DomainId, PhysMem};
+use cdna_net::{FlowId, MacAddr};
+use cdna_nic::{Coalescer, DescFlags, DescRing, DmaDescriptor, FrameMeta, RingTable};
+use cdna_ricenic::MailboxEventUnit;
+use cdna_sim::SimTime;
+use cdna_xen::EthernetBridge;
+
+fn meta() -> FrameMeta {
+    FrameMeta {
+        dst: MacAddr::for_peer(0),
+        src: MacAddr::for_context(0, 1),
+        tcp_payload: 1460,
+        flow: FlowId::new(0, 0),
+        seq: 0,
+    }
+}
+
+fn bench_protection_enqueue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protection");
+    for batch in [1usize, 10, 32] {
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_function(format!("enqueue_tx_batch_{batch}"), |b| {
+            let mut mem = PhysMem::new(8192);
+            let mut rings = RingTable::new();
+            let mut engine = ProtectionEngine::new();
+            let guest = DomainId::guest(0);
+            let ctx = engine
+                .assign_context(guest, DmaPolicy::Validated, 256, &mut rings, &mut mem)
+                .unwrap();
+            let pages: Vec<_> = (0..batch).map(|_| mem.alloc(guest).unwrap()).collect();
+            let reqs: Vec<TxRequest> = pages
+                .iter()
+                .map(|p| TxRequest {
+                    buf: BufferSlice::new(p.base_addr(), 1514),
+                    flags: DescFlags::END_OF_PACKET,
+                    meta: meta(),
+                })
+                .collect();
+            let mut consumer = 0u64;
+            b.iter(|| {
+                let out = engine
+                    .enqueue_tx(ctx, guest, &reqs, consumer, &mut rings, &mut mem)
+                    .unwrap();
+                consumer = out.producer; // everything "completes" instantly
+                black_box(out)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_seqnum(c: &mut Criterion) {
+    c.bench_function("seqnum/stamp_and_check", |b| {
+        let mut stamper = SeqStamper::new(512);
+        let mut checker = SeqChecker::new(512);
+        b.iter(|| checker.check(black_box(stamper.next())));
+    });
+}
+
+fn bench_bitvectors(c: &mut Criterion) {
+    c.bench_function("bitvec/note_flush_drain_8ctx", |b| {
+        let mut port = VectorPort::new();
+        let mut ring = BitVectorRing::new(64);
+        b.iter(|| {
+            for i in 0..8u8 {
+                port.note_update(ContextId(i * 4));
+            }
+            port.flush(&mut ring);
+            black_box(ring.drain())
+        });
+    });
+    c.bench_function("bitvec/iter_dense_vector", |b| {
+        let mut v = InterruptBitVector::EMPTY;
+        for i in 0..32u8 {
+            v.set(ContextId(i));
+        }
+        b.iter(|| black_box(v.iter().count()));
+    });
+}
+
+fn bench_mailbox_events(c: &mut Criterion) {
+    c.bench_function("mailbox_event_unit/note_and_decode_32", |b| {
+        let mut unit = MailboxEventUnit::new();
+        b.iter(|| {
+            for i in 0..32u8 {
+                unit.note_write(ContextId(i), (i % 24) as usize);
+            }
+            while let Some(ev) = unit.pop_event() {
+                black_box(ev);
+            }
+        });
+    });
+}
+
+fn bench_ring_ops(c: &mut Criterion) {
+    c.bench_function("desc_ring/write_read", |b| {
+        let mut ring = DescRing::new(cdna_mem::PhysAddr(0), 256);
+        let desc = DmaDescriptor::rx(BufferSlice::new(cdna_mem::PhysAddr(4096), 1514));
+        let mut idx = 0u64;
+        b.iter(|| {
+            ring.write_at(idx, desc);
+            let d = ring.read_at(idx);
+            idx += 1;
+            black_box(d)
+        });
+    });
+}
+
+fn bench_bridge(c: &mut Criterion) {
+    c.bench_function("bridge/lookup_24_guests", |b| {
+        let mut bridge = EthernetBridge::new();
+        for g in 0..24 {
+            bridge.learn(
+                MacAddr::for_vif(g),
+                cdna_xen::BridgePort::Frontend(DomainId::guest(g)),
+            );
+        }
+        let mut g = 0u16;
+        b.iter(|| {
+            g = (g + 1) % 24;
+            black_box(bridge.lookup(MacAddr::for_vif(g)))
+        });
+    });
+}
+
+fn bench_coalescer(c: &mut Criterion) {
+    c.bench_function("coalescer/request_fire_cycle", |b| {
+        let mut co = Coalescer::new(SimTime::from_us(100));
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            now += SimTime::from_us(10);
+            if let Some(t) = co.request(now) {
+                co.fired(t.max(now));
+            }
+        });
+    });
+}
+
+fn bench_mem(c: &mut Criterion) {
+    c.bench_function("physmem/pin_unpin_slice", |b| {
+        let mut mem = PhysMem::new(64);
+        let guest = DomainId::guest(0);
+        let page = mem.alloc(guest).unwrap();
+        let slice = BufferSlice::new(page.base_addr(), 1514);
+        b.iter(|| {
+            mem.pin_slice(guest, &slice).unwrap();
+            mem.unpin_slice(&slice).unwrap();
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_protection_enqueue,
+    bench_seqnum,
+    bench_bitvectors,
+    bench_mailbox_events,
+    bench_ring_ops,
+    bench_bridge,
+    bench_coalescer,
+    bench_mem
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Whole-system simulation benchmarks: how fast the testbed simulates
+//! each of the paper's configurations (events/sec of simulation speed,
+//! useful when extending the models).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cdna_core::DmaPolicy;
+use cdna_system::{run_experiment, Direction, IoModel, NicKind, TestbedConfig};
+
+fn bench_configs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_150ms");
+    group.sample_size(10);
+    let cases = [
+        (
+            "cdna_tx_1guest",
+            IoModel::Cdna {
+                policy: DmaPolicy::Validated,
+            },
+            1,
+            Direction::Transmit,
+        ),
+        (
+            "xen_tx_1guest",
+            IoModel::XenBridged {
+                nic: NicKind::Intel,
+            },
+            1,
+            Direction::Transmit,
+        ),
+        (
+            "cdna_rx_8guests",
+            IoModel::Cdna {
+                policy: DmaPolicy::Validated,
+            },
+            8,
+            Direction::Receive,
+        ),
+        (
+            "xen_rx_24guests",
+            IoModel::XenBridged {
+                nic: NicKind::Intel,
+            },
+            24,
+            Direction::Receive,
+        ),
+    ];
+    for (name, io, guests, dir) in cases {
+        group.bench_function(name, |b| {
+            b.iter(|| run_experiment(TestbedConfig::new(io, guests, dir).quick()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_configs);
+criterion_main!(benches);

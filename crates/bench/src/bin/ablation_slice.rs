@@ -1,0 +1,33 @@
+//! Ablation: scheduler batch limit (activation length) vs guest count
+//! (DESIGN.md §7). Long activations amortize switch costs; short ones
+//! reduce latency but thrash the cache.
+
+use cdna_bench::header;
+use cdna_core::DmaPolicy;
+use cdna_system::{run_experiment, Direction, IoModel, TestbedConfig};
+
+fn main() {
+    header("Ablation — activation batch limit (8 guests, transmit, CDNA)");
+    println!(
+        "{:>6} | {:>12} {:>12} {:>14}",
+        "batch", "Mb/s", "idle %", "switches/s"
+    );
+    for limit in [8u32, 16, 32, 64, 128, 256] {
+        let mut cfg = TestbedConfig::new(
+            IoModel::Cdna {
+                policy: DmaPolicy::Validated,
+            },
+            8,
+            Direction::Transmit,
+        );
+        cfg.batch_limit = limit;
+        let r = run_experiment(cfg);
+        println!(
+            "{:>6} | {:>12.0} {:>12.1} {:>14.0}",
+            limit,
+            r.throughput_mbps,
+            r.idle_pct(),
+            r.domain_switches_per_s
+        );
+    }
+}

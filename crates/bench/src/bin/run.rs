@@ -1,0 +1,109 @@
+//! Parameterized experiment runner — explore any configuration from the
+//! command line.
+//!
+//! ```sh
+//! cargo run --release -p cdna-bench --bin run -- cdna 8 tx
+//! cargo run --release -p cdna-bench --bin run -- xen-intel 24 rx --nics 2 --json
+//! cargo run --release -p cdna-bench --bin run -- cdna-noprot 1 tx --seed 7
+//! ```
+//!
+//! IO models: `native`, `xen-intel`, `xen-ricenic`, `cdna`, `cdna-iommu`,
+//! `cdna-noprot`.
+
+use cdna_core::DmaPolicy;
+use cdna_system::{run_experiment, Direction, IoModel, NicKind, TestbedConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: run <native|xen-intel|xen-ricenic|cdna|cdna-iommu|cdna-noprot> \
+         <guests> <tx|rx> [--nics N] [--seed S] [--conns C] [--json]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 3 {
+        usage();
+    }
+    let io = match args[0].as_str() {
+        "native" => IoModel::Native {
+            nic: NicKind::Intel,
+        },
+        "xen-intel" => IoModel::XenBridged {
+            nic: NicKind::Intel,
+        },
+        "xen-ricenic" => IoModel::XenBridged {
+            nic: NicKind::RiceNic,
+        },
+        "cdna" => IoModel::Cdna {
+            policy: DmaPolicy::Validated,
+        },
+        "cdna-iommu" => IoModel::Cdna {
+            policy: DmaPolicy::Iommu,
+        },
+        "cdna-noprot" => IoModel::Cdna {
+            policy: DmaPolicy::Unprotected,
+        },
+        other => {
+            eprintln!("unknown io model `{other}`");
+            usage();
+        }
+    };
+    let guests: u16 = args[1].parse().unwrap_or_else(|_| usage());
+    let direction = match args[2].as_str() {
+        "tx" => Direction::Transmit,
+        "rx" => Direction::Receive,
+        other => {
+            eprintln!("unknown direction `{other}`");
+            usage();
+        }
+    };
+
+    let mut cfg = TestbedConfig::new(io, guests, direction);
+    let mut json = false;
+    let mut i = 3;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--nics" => {
+                cfg.nics = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--seed" => {
+                cfg.seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--conns" => {
+                cfg.conns_per_guest = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+
+    let report = run_experiment(cfg);
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serializes")
+        );
+    } else {
+        println!("{report}");
+    }
+}

@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! Benchmark harness regenerating every table and figure of the CDNA
+//! paper, plus the paper's reported values for comparison.
+//!
+//! Each binary (`table1` … `table4`, `fig3`, `fig4`, `ablation_*`)
+//! runs the corresponding experiment and prints the paper's value next
+//! to the simulated one. `EXPERIMENTS.md` in the repository root records
+//! the outcomes.
+
+pub mod paper;
+
+use cdna_system::{run_experiment, RunReport, TestbedConfig};
+
+/// Runs several configurations on worker threads (each simulation is
+/// single-threaded and deterministic; the sweep parallelism only affects
+/// wall-clock time, never results). Reports come back in input order.
+pub fn run_parallel(configs: Vec<TestbedConfig>) -> Vec<RunReport> {
+    let mut out: Vec<Option<RunReport>> = configs.iter().map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = configs
+            .into_iter()
+            .map(|cfg| scope.spawn(move |_| run_experiment(cfg)))
+            .collect();
+        for (slot, h) in out.iter_mut().zip(handles) {
+            *slot = Some(h.join().expect("experiment thread panicked"));
+        }
+    })
+    .expect("scope");
+    out.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+/// Runs one configuration and prints its table row.
+pub fn run_and_print(cfg: TestbedConfig) -> RunReport {
+    let r = run_experiment(cfg);
+    println!("{}", r.table_row());
+    r
+}
+
+/// Formats a paper-vs-simulated line.
+pub fn compare_line(what: &str, paper: f64, simulated: f64) -> String {
+    let ratio = if paper == 0.0 { 1.0 } else { simulated / paper };
+    format!("{what:<44} paper {paper:>8.1}   sim {simulated:>8.1}   ratio {ratio:>5.2}")
+}
+
+/// Prints a standard experiment header.
+pub fn header(title: &str) {
+    println!("{}", "=".repeat(100));
+    println!("{title}");
+    println!("{}", "=".repeat(100));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_line_formats() {
+        let s = compare_line("throughput", 1602.0, 1576.0);
+        assert!(s.contains("1602.0"));
+        assert!(s.contains("1576.0"));
+        assert!(s.contains("0.98"));
+    }
+}

@@ -1,0 +1,228 @@
+//! The paper's reported numbers, transcribed from Tables 1–4 and
+//! Figures 3–4 of *Concurrent Direct Network Access for Virtual Machine
+//! Monitors* (HPCA 2007).
+
+/// One row of Tables 2/3: throughput, execution profile (fractions),
+/// and interrupt rates.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfileRow {
+    /// Configuration label.
+    pub label: &'static str,
+    /// Throughput, Mb/s.
+    pub mbps: f64,
+    /// Hypervisor fraction.
+    pub hyp: f64,
+    /// Driver-domain user fraction.
+    pub driver_user: f64,
+    /// Driver-domain kernel fraction.
+    pub driver_os: f64,
+    /// Guest user fraction.
+    pub guest_user: f64,
+    /// Guest kernel fraction.
+    pub guest_os: f64,
+    /// Idle fraction.
+    pub idle: f64,
+    /// Driver-domain interrupts per second.
+    pub driver_int: f64,
+    /// Guest interrupts per second.
+    pub guest_int: f64,
+}
+
+/// Table 1: native Linux vs Xen guest (six NICs).
+pub const TABLE1_NATIVE_TX: f64 = 5126.0;
+/// Table 1, native receive.
+pub const TABLE1_NATIVE_RX: f64 = 3629.0;
+/// Table 1, Xen guest transmit.
+pub const TABLE1_XEN_TX: f64 = 1602.0;
+/// Table 1, Xen guest receive.
+pub const TABLE1_XEN_RX: f64 = 1112.0;
+
+/// Table 2: transmit performance for a single guest with two NICs.
+pub const TABLE2_TX: [ProfileRow; 3] = [
+    ProfileRow {
+        label: "Xen/Intel",
+        mbps: 1602.0,
+        hyp: 0.198,
+        driver_user: 0.008,
+        driver_os: 0.357,
+        guest_user: 0.010,
+        guest_os: 0.397,
+        idle: 0.030,
+        driver_int: 7438.0,
+        guest_int: 7853.0,
+    },
+    ProfileRow {
+        label: "Xen/RiceNIC",
+        mbps: 1674.0,
+        hyp: 0.137,
+        driver_user: 0.005,
+        driver_os: 0.415,
+        guest_user: 0.010,
+        guest_os: 0.395,
+        idle: 0.038,
+        driver_int: 8839.0,
+        guest_int: 5661.0,
+    },
+    ProfileRow {
+        label: "CDNA/RiceNIC",
+        mbps: 1867.0,
+        hyp: 0.102,
+        driver_user: 0.002,
+        driver_os: 0.003,
+        guest_user: 0.007,
+        guest_os: 0.378,
+        idle: 0.508,
+        driver_int: 0.0,
+        guest_int: 13659.0,
+    },
+];
+
+/// Table 3: receive performance for a single guest with two NICs.
+pub const TABLE3_RX: [ProfileRow; 3] = [
+    ProfileRow {
+        label: "Xen/Intel",
+        mbps: 1112.0,
+        hyp: 0.257,
+        driver_user: 0.005,
+        driver_os: 0.368,
+        guest_user: 0.010,
+        guest_os: 0.310,
+        idle: 0.050,
+        driver_int: 11138.0,
+        guest_int: 5193.0,
+    },
+    ProfileRow {
+        label: "Xen/RiceNIC",
+        mbps: 1075.0,
+        hyp: 0.306,
+        driver_user: 0.006,
+        driver_os: 0.394,
+        guest_user: 0.006,
+        guest_os: 0.288,
+        idle: 0.0,
+        driver_int: 10946.0,
+        guest_int: 5163.0,
+    },
+    ProfileRow {
+        label: "CDNA/RiceNIC",
+        mbps: 1874.0,
+        hyp: 0.099,
+        driver_user: 0.002,
+        driver_os: 0.003,
+        guest_user: 0.007,
+        guest_os: 0.480,
+        idle: 0.409,
+        driver_int: 0.0,
+        guest_int: 7402.0,
+    },
+];
+
+/// Table 4: CDNA with and without DMA memory protection.
+pub const TABLE4: [ProfileRow; 4] = [
+    ProfileRow {
+        label: "CDNA TX protected",
+        mbps: 1867.0,
+        hyp: 0.102,
+        driver_user: 0.002,
+        driver_os: 0.003,
+        guest_user: 0.007,
+        guest_os: 0.378,
+        idle: 0.508,
+        driver_int: 0.0,
+        guest_int: 13659.0,
+    },
+    ProfileRow {
+        label: "CDNA TX unprotected",
+        mbps: 1867.0,
+        hyp: 0.019,
+        driver_user: 0.002,
+        driver_os: 0.002,
+        guest_user: 0.003,
+        guest_os: 0.370,
+        idle: 0.604,
+        driver_int: 0.0,
+        guest_int: 13680.0,
+    },
+    ProfileRow {
+        label: "CDNA RX protected",
+        mbps: 1874.0,
+        hyp: 0.099,
+        driver_user: 0.002,
+        driver_os: 0.003,
+        guest_user: 0.007,
+        guest_os: 0.480,
+        idle: 0.409,
+        driver_int: 0.0,
+        guest_int: 7402.0,
+    },
+    ProfileRow {
+        label: "CDNA RX unprotected",
+        mbps: 1874.0,
+        hyp: 0.019,
+        driver_user: 0.002,
+        driver_os: 0.002,
+        guest_user: 0.003,
+        guest_os: 0.472,
+        idle: 0.502,
+        driver_int: 0.0,
+        guest_int: 7243.0,
+    },
+];
+
+/// Guest counts swept by Figures 3 and 4.
+pub const FIG_GUESTS: [u16; 8] = [1, 2, 4, 8, 12, 16, 20, 24];
+
+/// Figure 3: CDNA idle percentages annotated above the transmit curve.
+pub const FIG3_CDNA_IDLE_PCT: [f64; 8] = [50.8, 25.4, 5.9, 0.0, 0.0, 0.0, 0.0, 0.0];
+/// Figure 3: Xen/Intel idle percentages.
+pub const FIG3_XEN_IDLE_PCT: [f64; 8] = [3.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+/// Figure 3 endpoints the text quotes: Xen transmit at 1 and 24 guests.
+pub const FIG3_XEN_TX_1: f64 = 1602.0;
+/// Xen transmit at 24 guests.
+pub const FIG3_XEN_TX_24: f64 = 891.0;
+/// CDNA transmit holds roughly this across the sweep.
+pub const FIG3_CDNA_TX: f64 = 1867.0;
+
+/// Figure 4: CDNA idle percentages annotated above the receive curve.
+pub const FIG4_CDNA_IDLE_PCT: [f64; 8] = [40.9, 29.1, 12.6, 0.0, 0.0, 0.0, 0.0, 0.0];
+/// Figure 4: Xen/Intel idle percentages.
+pub const FIG4_XEN_IDLE_PCT: [f64; 8] = [5.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+/// Xen receive at 1 guest.
+pub const FIG4_XEN_RX_1: f64 = 1112.0;
+/// Xen receive at 24 guests.
+pub const FIG4_XEN_RX_24: f64 = 558.0;
+/// CDNA receive holds roughly this across the sweep.
+pub const FIG4_CDNA_RX: f64 = 1874.0;
+
+/// §5.4: CDNA's aggregate transmit advantage at 24 guests.
+pub const FACTOR_TX_24: f64 = 2.1;
+/// §5.4: CDNA's aggregate receive advantage at 24 guests.
+pub const FACTOR_RX_24: f64 = 3.3;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_rows_sum_to_one() {
+        for row in TABLE2_TX
+            .iter()
+            .chain(TABLE3_RX.iter())
+            .chain(TABLE4.iter())
+        {
+            let s = row.hyp
+                + row.driver_user
+                + row.driver_os
+                + row.guest_user
+                + row.guest_os
+                + row.idle;
+            assert!((s - 1.0).abs() < 0.02, "{}: profile sums to {s}", row.label);
+        }
+    }
+
+    #[test]
+    fn quoted_factors_match_figure_endpoints() {
+        assert!((FIG3_CDNA_TX / FIG3_XEN_TX_24 - FACTOR_TX_24).abs() < 0.1);
+        assert!((FIG4_CDNA_RX / FIG4_XEN_RX_24 - FACTOR_RX_24).abs() < 0.1);
+    }
+}

@@ -1,0 +1,100 @@
+//! Guest-specific protection faults reported by the NIC (paper §3.3).
+
+use std::fmt;
+
+use cdna_mem::PageId;
+use serde::{Deserialize, Serialize};
+
+use crate::ContextId;
+
+/// Why the NIC refused to use a descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A descriptor's sequence number was not the expected successor —
+    /// the driver replayed a stale descriptor or overran the producer
+    /// index past what the hypervisor enqueued.
+    StaleSequence {
+        /// Sequence number the NIC expected next.
+        expected: u32,
+        /// Sequence number actually found in the slot.
+        found: u32,
+    },
+    /// The producer index pointed at a ring slot nothing was ever
+    /// written to.
+    EmptySlot {
+        /// The monotonic ring index read.
+        index: u64,
+    },
+    /// The per-context IOMMU blocked a DMA to an unmapped page
+    /// ([`crate::DmaPolicy::Iommu`] enforcement, paper §5.3).
+    IommuViolation {
+        /// The unmapped page the DMA touched.
+        page: PageId,
+    },
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::StaleSequence { expected, found } => {
+                write!(
+                    f,
+                    "stale descriptor: expected seq {expected}, found {found}"
+                )
+            }
+            FaultKind::EmptySlot { index } => {
+                write!(f, "producer overran into never-written slot {index}")
+            }
+            FaultKind::IommuViolation { page } => {
+                write!(f, "IOMMU blocked DMA to unmapped {page:?}")
+            }
+        }
+    }
+}
+
+/// A protection fault scoped to the offending guest's context.
+///
+/// Faults are reported to the hypervisor through the privileged context;
+/// other guests' traffic is unaffected — the fault isolates exactly one
+/// context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtectionFault {
+    /// The context whose descriptor stream faulted.
+    pub ctx: ContextId,
+    /// What went wrong.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for ProtectionFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protection fault on {}: {}", self.ctx, self.kind)
+    }
+}
+
+impl std::error::Error for ProtectionFault {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let fault = ProtectionFault {
+            ctx: ContextId(5),
+            kind: FaultKind::StaleSequence {
+                expected: 12,
+                found: 4,
+            },
+        };
+        let s = fault.to_string();
+        assert!(s.contains("ctx5"));
+        assert!(s.contains("expected seq 12"));
+        assert!(s.contains("found 4"));
+    }
+
+    #[test]
+    fn empty_slot_display() {
+        let k = FaultKind::EmptySlot { index: 99 };
+        assert!(k.to_string().contains("99"));
+    }
+}

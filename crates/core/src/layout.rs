@@ -1,0 +1,89 @@
+//! CDNA NIC memory layout and mailbox assignments (paper §4).
+//!
+//! The RiceNIC's 2 MB SRAM is the only device memory reachable by host
+//! PIO. CDNA carves 128 KB of it into 32 page-sized partitions, one per
+//! context, so the hypervisor can map each partition into exactly one
+//! guest's address space. The low 24 words of each partition are the
+//! context's mailboxes.
+
+use cdna_mem::PAGE_SIZE;
+
+/// Bytes of SRAM on the NIC reachable via PIO.
+pub const SRAM_BYTES: u64 = 2 * 1024 * 1024;
+/// Size of one context's PIO partition — one host page, so it can be
+/// mapped into a single guest.
+pub const PARTITION_BYTES: u64 = PAGE_SIZE;
+/// Bytes of SRAM dedicated to context partitions (32 × 4 KB = 128 KB).
+pub const PARTITION_REGION_BYTES: u64 = 32 * PARTITION_BYTES;
+/// Per-context metadata storage on the NIC (descriptor rings etc.).
+pub const CONTEXT_METADATA_BYTES: u64 = 128 * 1024;
+/// Per-context share of the transmit packet buffer.
+pub const CONTEXT_TX_BUFFER_BYTES: u64 = 128 * 1024;
+/// Per-context share of the receive packet buffer.
+pub const CONTEXT_RX_BUFFER_BYTES: u64 = 128 * 1024;
+
+/// Total NIC memory CDNA needs for 32 contexts — the paper's "only 12 MB
+/// of memory on the NIC is needed to support 32 contexts".
+pub const TOTAL_CONTEXT_MEMORY_BYTES: u64 =
+    32 * (CONTEXT_METADATA_BYTES + CONTEXT_TX_BUFFER_BYTES + CONTEXT_RX_BUFFER_BYTES);
+
+/// Mailbox word indices within a context partition.
+///
+/// The CDNA firmware interprets the low mailbox words as doorbells; the
+/// remaining words (up to 24) are free for driver/firmware shared state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Mailbox {
+    /// New transmit-descriptor producer index.
+    TxProducer = 0,
+    /// New receive-descriptor producer index.
+    RxProducer = 1,
+    /// Driver requests context enable (written once at driver init).
+    Enable = 2,
+    /// Driver requests a context reset.
+    Reset = 3,
+}
+
+impl Mailbox {
+    /// The mailbox's word index within the partition.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_region_fits_in_sram() {
+        // Spelled as a runtime comparison of the two consts on purpose.
+        #[allow(clippy::assertions_on_constants)]
+        {
+            assert!(PARTITION_REGION_BYTES <= SRAM_BYTES);
+        }
+        assert_eq!(PARTITION_REGION_BYTES, 128 * 1024);
+    }
+
+    #[test]
+    fn partitions_are_page_sized_for_guest_mapping() {
+        assert_eq!(PARTITION_BYTES, PAGE_SIZE);
+    }
+
+    #[test]
+    fn paper_quotes_12mb_for_32_contexts() {
+        assert_eq!(TOTAL_CONTEXT_MEMORY_BYTES, 12 * 1024 * 1024);
+    }
+
+    #[test]
+    fn mailbox_indices_fit_the_mailbox_region() {
+        for mb in [
+            Mailbox::TxProducer,
+            Mailbox::RxProducer,
+            Mailbox::Enable,
+            Mailbox::Reset,
+        ] {
+            assert!(mb.index() < cdna_nic::MAILBOXES_PER_CONTEXT);
+        }
+    }
+}

@@ -1,0 +1,754 @@
+//! The hypervisor-side DMA protection engine (paper §3.3).
+//!
+//! Guests never write CDNA descriptor rings directly: the rings live in
+//! hypervisor-owned memory, and the guest driver's enqueue hypercall
+//! lands here. The engine
+//!
+//! 1. checks the caller owns the context it is enqueueing on;
+//! 2. validates that **every page** under each requested buffer is owned
+//!    by the caller;
+//! 3. pins those pages (reference counts) so they cannot be reallocated
+//!    while the DMA is outstanding;
+//! 4. stamps each descriptor with the next sequence number and writes it
+//!    into the ring;
+//! 5. reaps completed descriptors (unpinning their pages) lazily, at the
+//!    next enqueue — exactly the paper's "for efficiency, the reference
+//!    counts are only decremented when additional DMA descriptors are
+//!    enqueued".
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use cdna_mem::{BufferSlice, DomainId, MemError, PhysMem};
+use cdna_nic::{DescFlags, DmaDescriptor, FrameMeta, RingId, RingTable};
+use serde::{Deserialize, Serialize};
+
+use crate::{ContextError, ContextId, ContextState, ContextTable, SeqStamper};
+
+/// How DMA addresses from a guest are kept honest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DmaPolicy {
+    /// CDNA software protection: hypervisor validates, pins, stamps, and
+    /// enqueues every descriptor (the paper's main design).
+    Validated,
+    /// A per-context IOMMU restricts the device instead; guests enqueue
+    /// descriptors directly and the hypervisor is only involved in
+    /// mapping setup (the hardware the paper's §5.3 anticipates).
+    Iommu,
+    /// No protection at all — guests enqueue directly and nothing checks
+    /// the addresses. This is Table 4's "DMA protection disabled" row,
+    /// an upper bound on IOMMU performance.
+    Unprotected,
+}
+
+/// A guest's request to transmit the packet described by `meta` from
+/// `buf`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxRequest {
+    /// The buffer holding the (already formatted) frame.
+    pub buf: BufferSlice,
+    /// Descriptor flags, copied through uninterpreted (paper §3.4).
+    pub flags: DescFlags,
+    /// Frame metadata (the simulation's stand-in for the buffer bytes).
+    pub meta: FrameMeta,
+}
+
+/// A guest's request to post `buf` for packet reception.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RxRequest {
+    /// The empty buffer to fill.
+    pub buf: BufferSlice,
+}
+
+/// Result of a successful enqueue hypercall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnqueueOutcome {
+    /// The ring's new producer index — the value the guest driver now
+    /// writes into its context's producer mailbox.
+    pub producer: u64,
+    /// Descriptors enqueued by this call.
+    pub enqueued: u32,
+    /// Pages newly pinned by this call.
+    pub pages_pinned: u32,
+    /// Completed descriptors reaped (pages unpinned) by this call.
+    pub reaped: u32,
+}
+
+/// Errors from protection operations. No descriptors are enqueued when
+/// an error is returned (validation happens before any side effects).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtectionError {
+    /// Context lookup/ownership failure.
+    Context(ContextError),
+    /// A buffer page failed ownership validation.
+    Mem(MemError),
+    /// The descriptor ring has no room for the whole batch.
+    RingFull {
+        /// The saturated context.
+        ctx: ContextId,
+    },
+    /// The context's policy does not route enqueues through the
+    /// hypervisor (IOMMU/unprotected contexts write their own rings).
+    PolicyViolation {
+        /// The context.
+        ctx: ContextId,
+        /// Its configured policy.
+        policy: DmaPolicy,
+    },
+}
+
+impl fmt::Display for ProtectionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtectionError::Context(e) => write!(f, "context error: {e}"),
+            ProtectionError::Mem(e) => write!(f, "memory validation failed: {e}"),
+            ProtectionError::RingFull { ctx } => write!(f, "descriptor ring full on {ctx}"),
+            ProtectionError::PolicyViolation { ctx, policy } => {
+                write!(f, "enqueue hypercall on {ctx} with policy {policy:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtectionError {}
+
+impl From<ContextError> for ProtectionError {
+    fn from(e: ContextError) -> Self {
+        ProtectionError::Context(e)
+    }
+}
+
+impl From<MemError> for ProtectionError {
+    fn from(e: MemError) -> Self {
+        ProtectionError::Mem(e)
+    }
+}
+
+/// Lifetime counters for reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtectionStats {
+    /// Descriptors validated and enqueued.
+    pub descriptors_enqueued: u64,
+    /// Pages pinned across all enqueues.
+    pub pages_pinned: u64,
+    /// Enqueue calls rejected.
+    pub rejections: u64,
+    /// Enqueue hypercall batches processed.
+    pub hypercalls: u64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Direction {
+    ring: RingId,
+    stamper: SeqStamper,
+    producer: u64,
+    /// Buffers pinned per outstanding descriptor, in ring order.
+    pinned: VecDeque<(u64, BufferSlice)>,
+    reaped: u64,
+}
+
+impl Direction {
+    fn new(ring: RingId, seq_modulus: u32) -> Self {
+        Direction {
+            ring,
+            stamper: SeqStamper::new(seq_modulus),
+            producer: 0,
+            pinned: VecDeque::new(),
+            reaped: 0,
+        }
+    }
+
+    fn reap(&mut self, nic_consumer: u64, mem: &mut PhysMem) -> u32 {
+        let mut reaped = 0;
+        while let Some(&(idx, buf)) = self.pinned.front() {
+            if idx >= nic_consumer {
+                break;
+            }
+            mem.unpin_slice(&buf).expect("pinned buffer must unpin");
+            self.pinned.pop_front();
+            self.reaped = idx + 1;
+            reaped += 1;
+        }
+        reaped
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CtxProtection {
+    tx: Direction,
+    rx: Direction,
+}
+
+/// The per-NIC DMA protection engine, owning the context table.
+///
+/// # Example
+///
+/// See the crate-level documentation and the `protection` integration
+/// tests; a minimal flow is:
+///
+/// ```
+/// use cdna_core::{DmaPolicy, ProtectionEngine, TxRequest};
+/// use cdna_mem::{BufferSlice, DomainId, PhysMem};
+/// use cdna_nic::{DescFlags, FrameMeta, RingTable};
+/// use cdna_net::{FlowId, MacAddr};
+///
+/// let mut mem = PhysMem::new(64);
+/// let mut rings = RingTable::new();
+/// let mut engine = ProtectionEngine::new();
+/// let guest = DomainId::guest(0);
+/// let ctx = engine
+///     .assign_context(guest, DmaPolicy::Validated, 16, &mut rings, &mut mem)
+///     .unwrap();
+///
+/// let page = mem.alloc(guest).unwrap();
+/// let req = TxRequest {
+///     buf: BufferSlice::new(page.base_addr(), 1514),
+///     flags: DescFlags::END_OF_PACKET,
+///     meta: FrameMeta {
+///         dst: MacAddr::for_peer(0),
+///         src: MacAddr::for_context(0, ctx.0),
+///         tcp_payload: 1460,
+///         flow: FlowId::new(0, 0),
+///         seq: 0,
+///     },
+/// };
+/// let out = engine
+///     .enqueue_tx(ctx, guest, &[req], 0, &mut rings, &mut mem)
+///     .unwrap();
+/// assert_eq!(out.producer, 1);
+/// assert_eq!(mem.info(page).unwrap().pins, 1);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProtectionEngine {
+    table: ContextTable,
+    ctxs: Vec<Option<CtxProtection>>,
+    stats: ProtectionStats,
+}
+
+impl ProtectionEngine {
+    /// An engine with an empty context table.
+    pub fn new() -> Self {
+        ProtectionEngine {
+            table: ContextTable::new(),
+            ctxs: (0..crate::CTX_COUNT).map(|_| None).collect(),
+            stats: ProtectionStats::default(),
+        }
+    }
+
+    /// The context table (assignments are made through
+    /// [`ProtectionEngine::assign_context`], so this is read-only).
+    pub fn contexts(&self) -> &ContextTable {
+        &self.table
+    }
+
+    /// Counters for reports.
+    pub fn stats(&self) -> ProtectionStats {
+        self.stats
+    }
+
+    /// Allocates a context to `owner`, creating its descriptor rings.
+    ///
+    /// Under [`DmaPolicy::Validated`] the ring memory is allocated to the
+    /// **hypervisor** — establishing "the hypervisor's exclusive write
+    /// access to the host memory region containing the CDNA descriptor
+    /// rings" — otherwise to the guest, which will write it directly.
+    ///
+    /// # Errors
+    ///
+    /// Fails when contexts or memory are exhausted.
+    pub fn assign_context(
+        &mut self,
+        owner: DomainId,
+        policy: DmaPolicy,
+        ring_size: u32,
+        rings: &mut RingTable,
+        mem: &mut PhysMem,
+    ) -> Result<ContextId, ProtectionError> {
+        let ring_owner = match policy {
+            DmaPolicy::Validated => DomainId::HYPERVISOR,
+            DmaPolicy::Iommu | DmaPolicy::Unprotected => owner,
+        };
+        let ring_bytes = ring_size * DmaDescriptor::WIRE_SIZE;
+        let pages_per_ring = (ring_bytes as u64).div_ceil(cdna_mem::PAGE_SIZE) as u32;
+        let tx_pages = mem.alloc_many(ring_owner, pages_per_ring)?;
+        let rx_pages = mem.alloc_many(ring_owner, pages_per_ring)?;
+        let tx_ring = rings.create(tx_pages[0].base_addr(), ring_size);
+        let rx_ring = rings.create(rx_pages[0].base_addr(), ring_size);
+        let ctx = self.table.assign(owner, tx_ring, rx_ring, policy)?;
+        let seq_modulus = (ring_size * 2).max(4);
+        self.ctxs[ctx.0 as usize] = Some(CtxProtection {
+            tx: Direction::new(tx_ring, seq_modulus),
+            rx: Direction::new(rx_ring, seq_modulus),
+        });
+        Ok(ctx)
+    }
+
+    /// Revokes `ctx`, unpinning every outstanding buffer (the NIC is
+    /// told to shut down the context's pending operations first, so the
+    /// DMAs are no longer in flight).
+    pub fn revoke_context(
+        &mut self,
+        ctx: ContextId,
+        mem: &mut PhysMem,
+    ) -> Result<ContextState, ProtectionError> {
+        let state = self.table.revoke(ctx)?;
+        if let Some(prot) = self.ctxs[ctx.0 as usize].take() {
+            for (_, buf) in prot.tx.pinned.iter().chain(prot.rx.pinned.iter()) {
+                mem.unpin_slice(buf).expect("pinned buffer must unpin");
+            }
+        }
+        Ok(state)
+    }
+
+    /// The enqueue-TX hypercall: validates, pins, stamps, and enqueues
+    /// `reqs`, reaping descriptors the NIC has completed (per
+    /// `nic_consumer`) first.
+    ///
+    /// # Errors
+    ///
+    /// On any error **nothing** is enqueued or pinned.
+    pub fn enqueue_tx(
+        &mut self,
+        ctx: ContextId,
+        caller: DomainId,
+        reqs: &[TxRequest],
+        nic_consumer: u64,
+        rings: &mut RingTable,
+        mem: &mut PhysMem,
+    ) -> Result<EnqueueOutcome, ProtectionError> {
+        let state = self.precheck(ctx, caller)?;
+        let ring_size = rings.get(state.tx_ring).expect("ring exists").size();
+        self.stats.hypercalls += 1;
+
+        let prot = self.ctxs[ctx.0 as usize].as_mut().expect("assigned");
+        let reaped = prot.tx.reap(nic_consumer, mem);
+
+        // Capacity: outstanding (unconsumed by NIC) + new must fit.
+        let outstanding = prot.tx.producer - nic_consumer.min(prot.tx.producer);
+        if outstanding + reqs.len() as u64 > ring_size as u64 {
+            self.stats.rejections += 1;
+            return Err(ProtectionError::RingFull { ctx });
+        }
+
+        // Validate the whole batch before touching anything. The driver
+        // domain is trusted (paper §2.2: Xen's existing trust model), so
+        // its buffers — grant-mapped guest pages — skip the ownership
+        // check but are still pinned for the DMA's lifetime.
+        let trusted = caller == DomainId::DRIVER;
+        if !trusted {
+            for req in reqs {
+                if let Err(e) = mem.validate_slice(caller, &req.buf) {
+                    self.stats.rejections += 1;
+                    return Err(e.into());
+                }
+            }
+        }
+
+        let mut pages = 0;
+        for req in reqs {
+            if trusted {
+                for page in req.buf.pages() {
+                    mem.pin(page).map_err(ProtectionError::Mem)?;
+                }
+            } else {
+                mem.pin_slice(caller, &req.buf).expect("validated above");
+            }
+            pages += req.buf.page_count();
+            let mut desc = DmaDescriptor::tx(req.buf, req.flags, req.meta);
+            desc.seq = prot.tx.stamper.next();
+            let idx = prot.tx.producer;
+            rings
+                .get_mut(state.tx_ring)
+                .expect("ring exists")
+                .write_at(idx, desc);
+            prot.tx.pinned.push_back((idx, req.buf));
+            prot.tx.producer += 1;
+        }
+        self.stats.descriptors_enqueued += reqs.len() as u64;
+        self.stats.pages_pinned += pages as u64;
+        Ok(EnqueueOutcome {
+            producer: prot.tx.producer,
+            enqueued: reqs.len() as u32,
+            pages_pinned: pages,
+            reaped,
+        })
+    }
+
+    /// The enqueue-RX hypercall: like [`ProtectionEngine::enqueue_tx`]
+    /// but posting empty receive buffers.
+    ///
+    /// # Errors
+    ///
+    /// On any error nothing is enqueued or pinned.
+    pub fn enqueue_rx(
+        &mut self,
+        ctx: ContextId,
+        caller: DomainId,
+        reqs: &[RxRequest],
+        nic_consumer: u64,
+        rings: &mut RingTable,
+        mem: &mut PhysMem,
+    ) -> Result<EnqueueOutcome, ProtectionError> {
+        let state = self.precheck(ctx, caller)?;
+        let ring_size = rings.get(state.rx_ring).expect("ring exists").size();
+        self.stats.hypercalls += 1;
+
+        let prot = self.ctxs[ctx.0 as usize].as_mut().expect("assigned");
+        let reaped = prot.rx.reap(nic_consumer, mem);
+
+        let outstanding = prot.rx.producer - nic_consumer.min(prot.rx.producer);
+        if outstanding + reqs.len() as u64 > ring_size as u64 {
+            self.stats.rejections += 1;
+            return Err(ProtectionError::RingFull { ctx });
+        }
+
+        for req in reqs {
+            if let Err(e) = mem.validate_slice(caller, &req.buf) {
+                self.stats.rejections += 1;
+                return Err(e.into());
+            }
+        }
+
+        let mut pages = 0;
+        for req in reqs {
+            mem.pin_slice(caller, &req.buf).expect("validated above");
+            pages += req.buf.page_count();
+            let mut desc = DmaDescriptor::rx(req.buf);
+            desc.seq = prot.rx.stamper.next();
+            let idx = prot.rx.producer;
+            rings
+                .get_mut(state.rx_ring)
+                .expect("ring exists")
+                .write_at(idx, desc);
+            prot.rx.pinned.push_back((idx, req.buf));
+            prot.rx.producer += 1;
+        }
+        self.stats.descriptors_enqueued += reqs.len() as u64;
+        self.stats.pages_pinned += pages as u64;
+        Ok(EnqueueOutcome {
+            producer: prot.rx.producer,
+            enqueued: reqs.len() as u32,
+            pages_pinned: pages,
+            reaped,
+        })
+    }
+
+    /// Explicitly reaps completed descriptors (both directions) up to
+    /// the NIC's consumer indices — used at quiesce/teardown; during
+    /// normal operation reaping happens lazily inside enqueues.
+    pub fn reap(
+        &mut self,
+        ctx: ContextId,
+        nic_tx_consumer: u64,
+        nic_rx_consumer: u64,
+        mem: &mut PhysMem,
+    ) -> Result<u32, ProtectionError> {
+        self.table.state(ctx)?;
+        let prot = self.ctxs[ctx.0 as usize].as_mut().expect("assigned");
+        Ok(prot.tx.reap(nic_tx_consumer, mem) + prot.rx.reap(nic_rx_consumer, mem))
+    }
+
+    /// Buffers currently pinned on behalf of `ctx` (both directions).
+    pub fn outstanding(&self, ctx: ContextId) -> usize {
+        self.ctxs[ctx.0 as usize]
+            .as_ref()
+            .map(|p| p.tx.pinned.len() + p.rx.pinned.len())
+            .unwrap_or(0)
+    }
+
+    fn precheck(
+        &mut self,
+        ctx: ContextId,
+        caller: DomainId,
+    ) -> Result<ContextState, ProtectionError> {
+        let state = match self.table.check_owner(ctx, caller) {
+            Ok(s) => s,
+            Err(e) => {
+                self.stats.rejections += 1;
+                return Err(e.into());
+            }
+        };
+        if state.policy != DmaPolicy::Validated {
+            self.stats.rejections += 1;
+            return Err(ProtectionError::PolicyViolation {
+                ctx,
+                policy: state.policy,
+            });
+        }
+        Ok(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdna_net::{FlowId, MacAddr};
+
+    struct Fixture {
+        mem: PhysMem,
+        rings: RingTable,
+        engine: ProtectionEngine,
+        guest: DomainId,
+        ctx: ContextId,
+    }
+
+    fn fixture() -> Fixture {
+        let mut mem = PhysMem::new(256);
+        let mut rings = RingTable::new();
+        let mut engine = ProtectionEngine::new();
+        let guest = DomainId::guest(0);
+        let ctx = engine
+            .assign_context(guest, DmaPolicy::Validated, 16, &mut rings, &mut mem)
+            .unwrap();
+        Fixture {
+            mem,
+            rings,
+            engine,
+            guest,
+            ctx,
+        }
+    }
+
+    fn tx_req(f: &mut Fixture, owner: DomainId) -> TxRequest {
+        let page = f.mem.alloc(owner).unwrap();
+        TxRequest {
+            buf: BufferSlice::new(page.base_addr(), 1514),
+            flags: DescFlags::END_OF_PACKET,
+            meta: FrameMeta {
+                dst: MacAddr::for_peer(0),
+                src: MacAddr::for_context(0, f.ctx.0),
+                tcp_payload: 1460,
+                flow: FlowId::new(0, 0),
+                seq: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn rings_are_hypervisor_owned_under_validated_policy() {
+        let f = fixture();
+        let state = f.engine.contexts().state(f.ctx).unwrap();
+        let tx_base = f.rings.get(state.tx_ring).unwrap().base();
+        assert_eq!(
+            f.mem.info(tx_base.page()).unwrap().owner,
+            Some(DomainId::HYPERVISOR)
+        );
+    }
+
+    #[test]
+    fn rings_are_guest_owned_under_unprotected_policy() {
+        let mut mem = PhysMem::new(64);
+        let mut rings = RingTable::new();
+        let mut engine = ProtectionEngine::new();
+        let guest = DomainId::guest(3);
+        let ctx = engine
+            .assign_context(guest, DmaPolicy::Unprotected, 16, &mut rings, &mut mem)
+            .unwrap();
+        let state = engine.contexts().state(ctx).unwrap();
+        let base = rings.get(state.tx_ring).unwrap().base();
+        assert_eq!(mem.info(base.page()).unwrap().owner, Some(guest));
+    }
+
+    #[test]
+    fn enqueue_stamps_sequential_numbers() {
+        let mut f = fixture();
+        let g = f.guest;
+        let reqs: Vec<TxRequest> = (0..3).map(|_| tx_req(&mut f, g)).collect();
+        let out = f
+            .engine
+            .enqueue_tx(f.ctx, f.guest, &reqs, 0, &mut f.rings, &mut f.mem)
+            .unwrap();
+        assert_eq!(out.producer, 3);
+        assert_eq!(out.pages_pinned, 3);
+        let state = f.engine.contexts().state(f.ctx).unwrap();
+        for i in 0..3u64 {
+            let d = f.rings.read(state.tx_ring, i).unwrap();
+            assert_eq!(d.seq, i as u32);
+        }
+    }
+
+    #[test]
+    fn foreign_page_rejected_and_nothing_pinned() {
+        let mut f = fixture();
+        let g = f.guest;
+        let mine = tx_req(&mut f, g);
+        let theirs = tx_req(&mut f, DomainId::guest(7));
+        let err = f
+            .engine
+            .enqueue_tx(f.ctx, f.guest, &[mine, theirs], 0, &mut f.rings, &mut f.mem)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ProtectionError::Mem(MemError::NotOwner { .. })
+        ));
+        assert_eq!(f.mem.outstanding_pins(), 0, "batch failure pins nothing");
+        assert_eq!(f.engine.stats().rejections, 1);
+    }
+
+    #[test]
+    fn wrong_context_owner_rejected() {
+        let mut f = fixture();
+        let g = f.guest;
+        let req = tx_req(&mut f, g);
+        let err = f
+            .engine
+            .enqueue_tx(
+                f.ctx,
+                DomainId::guest(9),
+                &[req],
+                0,
+                &mut f.rings,
+                &mut f.mem,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ProtectionError::Context(ContextError::WrongOwner { .. })
+        ));
+    }
+
+    #[test]
+    fn ring_full_rejected() {
+        let mut f = fixture();
+        let g = f.guest;
+        let reqs: Vec<TxRequest> = (0..16).map(|_| tx_req(&mut f, g)).collect();
+        f.engine
+            .enqueue_tx(f.ctx, f.guest, &reqs, 0, &mut f.rings, &mut f.mem)
+            .unwrap();
+        let one = tx_req(&mut f, g);
+        let err = f
+            .engine
+            .enqueue_tx(f.ctx, f.guest, &[one], 0, &mut f.rings, &mut f.mem)
+            .unwrap_err();
+        assert_eq!(err, ProtectionError::RingFull { ctx: f.ctx });
+        // Once the NIC consumes 4 descriptors, space opens up.
+        let out = f
+            .engine
+            .enqueue_tx(f.ctx, f.guest, &[one], 4, &mut f.rings, &mut f.mem)
+            .unwrap();
+        assert_eq!(out.reaped, 4, "lazy reaping at next enqueue");
+        assert_eq!(f.engine.outstanding(f.ctx), 13);
+    }
+
+    #[test]
+    fn reap_unpins_pages() {
+        let mut f = fixture();
+        let g = f.guest;
+        let reqs: Vec<TxRequest> = (0..4).map(|_| tx_req(&mut f, g)).collect();
+        f.engine
+            .enqueue_tx(f.ctx, f.guest, &reqs, 0, &mut f.rings, &mut f.mem)
+            .unwrap();
+        assert_eq!(f.mem.outstanding_pins(), 4);
+        let reaped = f.engine.reap(f.ctx, 2, 0, &mut f.mem).unwrap();
+        assert_eq!(reaped, 2);
+        assert_eq!(f.mem.outstanding_pins(), 2);
+    }
+
+    #[test]
+    fn freed_page_with_inflight_dma_is_not_reallocated() {
+        let mut f = fixture();
+        let g = f.guest;
+        let req = tx_req(&mut f, g);
+        let page = req.buf.addr.page();
+        f.engine
+            .enqueue_tx(f.ctx, f.guest, &[req], 0, &mut f.rings, &mut f.mem)
+            .unwrap();
+        // The (malicious) guest frees the page right after enqueueing.
+        assert_eq!(f.mem.free(f.guest, page), Err(MemError::Pinned(page)));
+        // Drain the free list; the pinned page must never be handed out.
+        while f.mem.alloc(DomainId::guest(9)).is_ok() {}
+        assert_eq!(f.mem.info(page).unwrap().owner, Some(f.guest));
+        // DMA completes; reap unpins; deferred free makes it reusable.
+        f.engine.reap(f.ctx, 1, 0, &mut f.mem).unwrap();
+        assert_eq!(f.mem.info(page).unwrap().owner, None);
+    }
+
+    #[test]
+    fn rx_enqueue_and_reap() {
+        let mut f = fixture();
+        let pages = f.mem.alloc_many(f.guest, 3).unwrap();
+        let reqs: Vec<RxRequest> = pages
+            .iter()
+            .map(|p| RxRequest {
+                buf: BufferSlice::new(p.base_addr(), 1514),
+            })
+            .collect();
+        let out = f
+            .engine
+            .enqueue_rx(f.ctx, f.guest, &reqs, 0, &mut f.rings, &mut f.mem)
+            .unwrap();
+        assert_eq!(out.producer, 3);
+        assert_eq!(f.mem.outstanding_pins(), 3);
+        // NIC fills two buffers; reaping at the next post unpins them.
+        let more = f.mem.alloc(f.guest).unwrap();
+        let out = f
+            .engine
+            .enqueue_rx(
+                f.ctx,
+                f.guest,
+                &[RxRequest {
+                    buf: BufferSlice::new(more.base_addr(), 1514),
+                }],
+                2,
+                &mut f.rings,
+                &mut f.mem,
+            )
+            .unwrap();
+        assert_eq!(out.reaped, 2);
+        assert_eq!(f.mem.outstanding_pins(), 2);
+    }
+
+    #[test]
+    fn unprotected_context_rejects_hypercall() {
+        let mut mem = PhysMem::new(64);
+        let mut rings = RingTable::new();
+        let mut engine = ProtectionEngine::new();
+        let guest = DomainId::guest(0);
+        let ctx = engine
+            .assign_context(guest, DmaPolicy::Unprotected, 16, &mut rings, &mut mem)
+            .unwrap();
+        let page = mem.alloc(guest).unwrap();
+        let err = engine
+            .enqueue_rx(
+                ctx,
+                guest,
+                &[RxRequest {
+                    buf: BufferSlice::new(page.base_addr(), 1514),
+                }],
+                0,
+                &mut rings,
+                &mut mem,
+            )
+            .unwrap_err();
+        assert!(matches!(err, ProtectionError::PolicyViolation { .. }));
+    }
+
+    #[test]
+    fn revocation_unpins_everything() {
+        let mut f = fixture();
+        let g = f.guest;
+        let reqs: Vec<TxRequest> = (0..5).map(|_| tx_req(&mut f, g)).collect();
+        f.engine
+            .enqueue_tx(f.ctx, f.guest, &reqs, 0, &mut f.rings, &mut f.mem)
+            .unwrap();
+        assert_eq!(f.mem.outstanding_pins(), 5);
+        f.engine.revoke_context(f.ctx, &mut f.mem).unwrap();
+        assert_eq!(f.mem.outstanding_pins(), 0);
+        assert_eq!(f.engine.outstanding(f.ctx), 0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut f = fixture();
+        let g = f.guest;
+        let req = tx_req(&mut f, g);
+        f.engine
+            .enqueue_tx(f.ctx, f.guest, &[req], 0, &mut f.rings, &mut f.mem)
+            .unwrap();
+        let s = f.engine.stats();
+        assert_eq!(s.descriptors_enqueued, 1);
+        assert_eq!(s.pages_pinned, 1);
+        assert_eq!(s.hypercalls, 1);
+        assert_eq!(s.rejections, 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Addresses, pages, and domain identifiers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Size of a physical page in bytes (x86: 4 KB).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Identifies a domain (virtual machine) as a memory owner.
+///
+/// By convention in this reproduction: id 0 is the driver domain (dom0),
+/// ids 1.. are guests. The hypervisor itself is represented by
+/// [`DomainId::HYPERVISOR`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct DomainId(pub u16);
+
+impl DomainId {
+    /// The driver domain (dom0 in Xen terms).
+    pub const DRIVER: DomainId = DomainId(0);
+    /// Sentinel owner for hypervisor-private memory (e.g. the interrupt
+    /// bit-vector ring and CDNA descriptor rings, which guests must not
+    /// write).
+    pub const HYPERVISOR: DomainId = DomainId(u16::MAX);
+
+    /// The `i`-th guest domain (0-based), i.e. domain id `i + 1`.
+    pub const fn guest(i: u16) -> DomainId {
+        DomainId(i + 1)
+    }
+
+    /// Whether this is a guest domain (not dom0, not the hypervisor).
+    pub fn is_guest(self) -> bool {
+        self != DomainId::DRIVER && self != DomainId::HYPERVISOR
+    }
+}
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == DomainId::HYPERVISOR {
+            write!(f, "hypervisor")
+        } else if *self == DomainId::DRIVER {
+            write!(f, "dom0")
+        } else {
+            write!(f, "dom{}", self.0)
+        }
+    }
+}
+
+/// Index of a physical page within the machine's page pool.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// The base physical address of this page.
+    pub const fn base_addr(self) -> PhysAddr {
+        PhysAddr(self.0 as u64 * PAGE_SIZE)
+    }
+}
+
+/// A physical byte address.
+///
+/// # Example
+///
+/// ```
+/// use cdna_mem::{PageId, PhysAddr, PAGE_SIZE};
+///
+/// let a = PhysAddr(PAGE_SIZE * 3 + 100);
+/// assert_eq!(a.page(), PageId(3));
+/// assert_eq!(a.page_offset(), 100);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct PhysAddr(pub u64);
+
+impl PhysAddr {
+    /// The page containing this address.
+    pub const fn page(self) -> PageId {
+        PageId((self.0 / PAGE_SIZE) as u32)
+    }
+
+    /// Byte offset within the containing page.
+    pub const fn page_offset(self) -> u64 {
+        self.0 % PAGE_SIZE
+    }
+
+    /// This address advanced by `bytes`.
+    pub const fn offset(self, bytes: u64) -> PhysAddr {
+        PhysAddr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#012x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_and_offset_round_trip() {
+        for raw in [0u64, 1, PAGE_SIZE - 1, PAGE_SIZE, PAGE_SIZE * 7 + 123] {
+            let a = PhysAddr(raw);
+            assert_eq!(
+                a.page().base_addr().0 + a.page_offset(),
+                raw,
+                "round trip failed for {raw}"
+            );
+        }
+    }
+
+    #[test]
+    fn domain_conventions() {
+        assert_eq!(DomainId::guest(0), DomainId(1));
+        assert!(DomainId::guest(5).is_guest());
+        assert!(!DomainId::DRIVER.is_guest());
+        assert!(!DomainId::HYPERVISOR.is_guest());
+    }
+
+    #[test]
+    fn domain_display() {
+        assert_eq!(DomainId::DRIVER.to_string(), "dom0");
+        assert_eq!(DomainId::guest(2).to_string(), "dom3");
+        assert_eq!(DomainId::HYPERVISOR.to_string(), "hypervisor");
+    }
+
+    #[test]
+    fn addr_display_is_hex() {
+        assert_eq!(PhysAddr(0x1000).to_string(), "0x0000001000");
+    }
+
+    #[test]
+    fn offset_moves_forward() {
+        let a = PhysAddr(100).offset(28);
+        assert_eq!(a, PhysAddr(128));
+    }
+}

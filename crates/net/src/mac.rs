@@ -1,0 +1,131 @@
+//! Ethernet MAC addresses.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A 48-bit Ethernet MAC address.
+///
+/// CDNA associates one unique MAC with each hardware context so the NIC
+/// can demultiplex received traffic (paper §3.1). The
+/// [`MacAddr::for_context`] constructor produces the locally-administered
+/// addresses the simulation assigns to contexts.
+///
+/// # Example
+///
+/// ```
+/// use cdna_net::MacAddr;
+///
+/// let mac = MacAddr::for_context(0, 3);
+/// assert!(mac.is_locally_administered());
+/// assert_eq!(mac.to_string(), "02:cd:aa:00:00:03");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// A locally-administered unicast address for hardware context `ctx`
+    /// of NIC `nic`.
+    pub const fn for_context(nic: u8, ctx: u8) -> MacAddr {
+        // 0x02 sets the locally-administered bit and clears multicast.
+        MacAddr([0x02, 0xcd, 0xaa, nic, 0x00, ctx])
+    }
+
+    /// A locally-administered unicast address for the peer host's NIC
+    /// `nic` (the traffic source/sink machine in the paper's testbed).
+    pub const fn for_peer(nic: u8) -> MacAddr {
+        MacAddr([0x02, 0xee, 0x00, nic, 0x00, 0x01])
+    }
+
+    /// A locally-administered unicast address for guest `guest`'s
+    /// paravirtualized interface (its netfront vif in the Xen baseline).
+    pub const fn for_vif(guest: u16) -> MacAddr {
+        let hi = (guest >> 8) as u8;
+        let lo = (guest & 0xff) as u8;
+        MacAddr([0x02, 0x1f, 0x00, 0x00, hi, lo])
+    }
+
+    /// True if the multicast/broadcast bit is set.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// True if this is the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == MacAddr::BROADCAST
+    }
+
+    /// True if the locally-administered bit is set.
+    pub fn is_locally_administered(&self) -> bool {
+        self.0[0] & 0x02 != 0
+    }
+
+    /// The raw octets.
+    pub fn octets(&self) -> [u8; 6] {
+        self.0
+    }
+}
+
+impl From<[u8; 6]> for MacAddr {
+    fn from(octets: [u8; 6]) -> Self {
+        MacAddr(octets)
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_addresses_are_unique_per_nic_and_ctx() {
+        let mut seen = std::collections::HashSet::new();
+        for nic in 0..2 {
+            for ctx in 0..32 {
+                assert!(seen.insert(MacAddr::for_context(nic, ctx)));
+            }
+        }
+        assert_eq!(seen.len(), 64);
+    }
+
+    #[test]
+    fn context_addresses_are_unicast_and_local() {
+        let m = MacAddr::for_context(1, 31);
+        assert!(!m.is_multicast());
+        assert!(m.is_locally_administered());
+        assert!(!m.is_broadcast());
+    }
+
+    #[test]
+    fn broadcast_properties() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+    }
+
+    #[test]
+    fn display_format() {
+        let m = MacAddr([0x02, 0x00, 0xff, 0x10, 0x00, 0x01]);
+        assert_eq!(m.to_string(), "02:00:ff:10:00:01");
+    }
+
+    #[test]
+    fn peer_and_context_spaces_disjoint() {
+        for nic in 0..4 {
+            for ctx in 0..32 {
+                assert_ne!(MacAddr::for_context(nic, ctx), MacAddr::for_peer(nic));
+            }
+        }
+    }
+}

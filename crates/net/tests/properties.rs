@@ -1,0 +1,70 @@
+//! Property-based tests of the wire, bus, and framing models.
+
+use cdna_net::{framing, GigabitWire, PciBus, WireDirection};
+use cdna_sim::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    /// The wire never reorders and never exceeds 1 Gb/s in either
+    /// direction, for any arrival pattern.
+    #[test]
+    fn wire_is_fifo_and_rate_limited(
+        arrivals in prop::collection::vec((0u64..10_000, 64u32..1600), 1..100),
+    ) {
+        let mut wire = GigabitWire::new();
+        let mut arrivals = arrivals;
+        arrivals.sort_by_key(|&(t, _)| t);
+        let mut last_done = SimTime::ZERO;
+        let mut total_bytes = 0u64;
+        for &(t, bytes) in &arrivals {
+            let done = wire.transfer(SimTime::from_ns(t), WireDirection::Transmit, bytes);
+            prop_assert!(done >= last_done, "wire reordered frames");
+            // A frame takes at least its serialization time.
+            prop_assert!(done.as_ns() >= t + bytes as u64 * 8);
+            last_done = done;
+            total_bytes += bytes as u64;
+        }
+        // Aggregate rate bound: total time >= total serialization time.
+        let first = arrivals[0].0;
+        prop_assert!(last_done.as_ns() - first >= total_bytes * 8);
+    }
+
+    /// Bus transfers serialize: completion times are strictly increasing
+    /// and bandwidth is respected.
+    #[test]
+    fn bus_serializes_transfers(
+        sizes in prop::collection::vec(1u32..100_000, 1..50),
+    ) {
+        let mut bus = PciBus::with_rate(422_000_000, SimTime::from_ns(120));
+        let mut last = SimTime::ZERO;
+        for &s in &sizes {
+            let t = bus.dma(SimTime::ZERO, s);
+            prop_assert!(t.start >= last);
+            prop_assert!(t.done > t.start);
+            last = t.done;
+        }
+        prop_assert_eq!(bus.transfers(), sizes.len() as u64);
+    }
+
+    /// Segmentation covers every byte with only the tail short.
+    #[test]
+    fn segmentation_total_is_exact(total in 0u64..1_000_000) {
+        let segs = framing::segment_tcp_payload(total);
+        prop_assert_eq!(segs.iter().map(|&s| s as u64).sum::<u64>(), total);
+        for &s in segs.iter().rev().skip(1) {
+            prop_assert_eq!(s, framing::MSS);
+        }
+        if let Some(&last) = segs.last() {
+            prop_assert!((1..=framing::MSS).contains(&last));
+        }
+    }
+
+    /// Wire-byte accounting is monotone in payload and respects the
+    /// Ethernet minimum.
+    #[test]
+    fn wire_bytes_monotone(a in 0u32..3000, b in 0u32..3000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(framing::wire_bytes(lo) <= framing::wire_bytes(hi));
+        prop_assert!(framing::wire_bytes(lo) >= framing::MIN_ETH_PAYLOAD + framing::PER_FRAME_WIRE_OVERHEAD);
+    }
+}

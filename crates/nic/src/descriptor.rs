@@ -1,0 +1,159 @@
+//! DMA descriptors — the contract between device driver and NIC.
+
+use cdna_mem::BufferSlice;
+use cdna_net::{FlowId, MacAddr};
+use serde::{Deserialize, Serialize};
+
+/// Descriptor flag bits.
+///
+/// Stored as a raw `u16` like hardware would; the constants below are the
+/// bits the simulation interprets. Per paper §3.4 the hypervisor never
+/// needs to interpret flags — it copies them through — which the CDNA
+/// protection engine in `cdna-core` honours.
+///
+/// # Example
+///
+/// ```
+/// use cdna_nic::DescFlags;
+///
+/// let f = DescFlags::END_OF_PACKET | DescFlags::TSO;
+/// assert!(f.contains(DescFlags::TSO));
+/// assert!(!f.contains(DescFlags::INSERT_CHECKSUM));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize, PartialOrd, Ord,
+)]
+pub struct DescFlags(pub u16);
+
+impl DescFlags {
+    /// No flags set.
+    pub const NONE: DescFlags = DescFlags(0);
+    /// Last descriptor of a packet.
+    pub const END_OF_PACKET: DescFlags = DescFlags(1 << 0);
+    /// The buffer holds a TSO super-segment the NIC must segment.
+    pub const TSO: DescFlags = DescFlags(1 << 1);
+    /// NIC should insert the TCP/IP checksum (checksum offload).
+    pub const INSERT_CHECKSUM: DescFlags = DescFlags(1 << 2);
+
+    /// Whether all bits of `other` are set in `self`.
+    pub fn contains(self, other: DescFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+}
+
+impl std::ops::BitOr for DescFlags {
+    type Output = DescFlags;
+    fn bitor(self, rhs: DescFlags) -> DescFlags {
+        DescFlags(self.0 | rhs.0)
+    }
+}
+
+/// Packet metadata the driver wrote into the buffer.
+///
+/// A real NIC parses these fields out of the packet bytes in the buffer;
+/// the simulation carries them alongside the descriptor instead of
+/// materializing byte images (the experiments only need counts). The
+/// buffer *address* is still real — protection validates it against the
+/// page pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameMeta {
+    /// Destination MAC of the (first) frame in this buffer.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// TCP payload bytes in the buffer (may exceed one MSS when TSO).
+    pub tcp_payload: u32,
+    /// Flow the traffic belongs to.
+    pub flow: FlowId,
+    /// First per-flow sequence number covered by this buffer.
+    pub seq: u64,
+}
+
+/// One DMA descriptor (paper §2.2/§3.4): a buffer, a length (inside
+/// [`BufferSlice`]), flags, and — under CDNA — a hypervisor-written
+/// sequence number.
+///
+/// Transmit descriptors carry [`FrameMeta`]; receive descriptors post an
+/// empty buffer and have `meta == None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DmaDescriptor {
+    /// The host buffer to read (TX) or fill (RX).
+    pub buf: BufferSlice,
+    /// Flag bits, opaque to the hypervisor.
+    pub flags: DescFlags,
+    /// CDNA sequence number, written by the hypervisor at enqueue time;
+    /// zero (and unchecked) on conventional NICs.
+    pub seq: u32,
+    /// Packet metadata for TX descriptors.
+    pub meta: Option<FrameMeta>,
+}
+
+impl DmaDescriptor {
+    /// A transmit descriptor.
+    pub fn tx(buf: BufferSlice, flags: DescFlags, meta: FrameMeta) -> Self {
+        DmaDescriptor {
+            buf,
+            flags,
+            seq: 0,
+            meta: Some(meta),
+        }
+    }
+
+    /// A receive descriptor posting `buf` for incoming packets.
+    pub fn rx(buf: BufferSlice) -> Self {
+        DmaDescriptor {
+            buf,
+            flags: DescFlags::NONE,
+            seq: 0,
+            meta: None,
+        }
+    }
+
+    /// Size of the descriptor itself when fetched over the bus, in bytes
+    /// (address + length + flags + sequence number, padded like the
+    /// 16-byte descriptors of commodity NICs).
+    pub const WIRE_SIZE: u32 = 16;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdna_mem::PhysAddr;
+
+    fn meta() -> FrameMeta {
+        FrameMeta {
+            dst: MacAddr::for_peer(0),
+            src: MacAddr::for_context(0, 1),
+            tcp_payload: 1460,
+            flow: FlowId::new(0, 0),
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn flags_combine_and_test() {
+        let f = DescFlags::END_OF_PACKET | DescFlags::INSERT_CHECKSUM;
+        assert!(f.contains(DescFlags::END_OF_PACKET));
+        assert!(f.contains(DescFlags::INSERT_CHECKSUM));
+        assert!(!f.contains(DescFlags::TSO));
+        assert!(DescFlags::NONE.contains(DescFlags::NONE));
+    }
+
+    #[test]
+    fn tx_descriptor_has_meta() {
+        let d = DmaDescriptor::tx(
+            BufferSlice::new(PhysAddr(4096), 1514),
+            DescFlags::END_OF_PACKET,
+            meta(),
+        );
+        assert!(d.meta.is_some());
+        assert_eq!(d.seq, 0);
+    }
+
+    #[test]
+    fn rx_descriptor_is_bare() {
+        let d = DmaDescriptor::rx(BufferSlice::new(PhysAddr(8192), 1514));
+        assert!(d.meta.is_none());
+        assert_eq!(d.flags, DescFlags::NONE);
+    }
+}

@@ -1,0 +1,101 @@
+//! PIO-visible mailbox words.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of mailbox words per context (paper §4: "the lowest 24 memory
+/// locations are mailboxes").
+pub const MAILBOXES_PER_CONTEXT: usize = 24;
+
+/// One context's mailbox words, the driver→NIC doorbell interface.
+///
+/// A driver updates NIC state (e.g. a producer index) by writing a value
+/// into a mailbox word via programmed I/O; the NIC hardware snoops the
+/// write and raises a mailbox event for the firmware (modelled by the
+/// event hierarchy in `cdna-ricenic`).
+///
+/// # Example
+///
+/// ```
+/// use cdna_nic::MailboxPage;
+///
+/// let mut mb = MailboxPage::new();
+/// mb.write(0, 42).unwrap();
+/// assert_eq!(mb.read(0), Some(42));
+/// assert_eq!(mb.read(99), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MailboxPage {
+    words: [u64; MAILBOXES_PER_CONTEXT],
+    writes: u64,
+}
+
+impl MailboxPage {
+    /// A zeroed mailbox page.
+    pub fn new() -> Self {
+        MailboxPage {
+            words: [0; MAILBOXES_PER_CONTEXT],
+            writes: 0,
+        }
+    }
+
+    /// Writes `value` to mailbox `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(index)` when the index is outside the mailbox region
+    /// (writes to the rest of the 4 KB partition are allowed on real
+    /// hardware but have no doorbell semantics; the models treat them as
+    /// errors to catch driver bugs).
+    pub fn write(&mut self, index: usize, value: u64) -> Result<(), usize> {
+        if index >= MAILBOXES_PER_CONTEXT {
+            return Err(index);
+        }
+        self.words[index] = value;
+        self.writes += 1;
+        Ok(())
+    }
+
+    /// Reads mailbox `index`, or `None` if out of range.
+    pub fn read(&self, index: usize) -> Option<u64> {
+        self.words.get(index).copied()
+    }
+
+    /// Lifetime PIO write count (for reports).
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+impl Default for MailboxPage {
+    fn default() -> Self {
+        MailboxPage::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read() {
+        let mut mb = MailboxPage::new();
+        mb.write(5, 0xDEAD).unwrap();
+        assert_eq!(mb.read(5), Some(0xDEAD));
+        assert_eq!(mb.writes(), 1);
+    }
+
+    #[test]
+    fn out_of_range_write_rejected() {
+        let mut mb = MailboxPage::new();
+        assert_eq!(mb.write(MAILBOXES_PER_CONTEXT, 1), Err(24));
+        assert_eq!(mb.writes(), 0);
+    }
+
+    #[test]
+    fn fresh_page_is_zeroed() {
+        let mb = MailboxPage::new();
+        for i in 0..MAILBOXES_PER_CONTEXT {
+            assert_eq!(mb.read(i), Some(0));
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! The two-level mailbox event hierarchy (paper §4).
+//!
+//! A hardware core snoops the SRAM bus; when a host PIO write lands in a
+//! mailbox, it sets the mailbox's bit in that context's event word and
+//! the context's bit in the global context vector, both kept in a data
+//! scratchpad for fast firmware access. The firmware decodes the
+//! hierarchy (find-first-set twice) instead of scanning 32 × 24 mailbox
+//! words.
+
+use cdna_core::{ContextId, CTX_COUNT};
+use cdna_nic::MAILBOXES_PER_CONTEXT;
+use serde::{Deserialize, Serialize};
+
+/// The snooping event unit's scratchpad state.
+///
+/// # Example
+///
+/// ```
+/// use cdna_core::ContextId;
+/// use cdna_ricenic::MailboxEventUnit;
+///
+/// let mut unit = MailboxEventUnit::new();
+/// unit.note_write(ContextId(5), 0);
+/// unit.note_write(ContextId(2), 1);
+/// // Events decode lowest-context-first.
+/// assert_eq!(unit.pop_event(), Some((ContextId(2), 1)));
+/// assert_eq!(unit.pop_event(), Some((ContextId(5), 0)));
+/// assert_eq!(unit.pop_event(), None);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MailboxEventUnit {
+    /// First level: which contexts have pending events.
+    ctx_vector: u32,
+    /// Second level: which mailboxes within each context.
+    per_ctx: [u32; CTX_COUNT],
+    noted: u64,
+}
+
+impl MailboxEventUnit {
+    /// An idle event unit.
+    pub fn new() -> Self {
+        MailboxEventUnit::default()
+    }
+
+    /// Hardware snoop: a PIO write hit mailbox `mailbox` of `ctx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range context or mailbox (the hardware decoder
+    /// cannot generate such events).
+    pub fn note_write(&mut self, ctx: ContextId, mailbox: usize) {
+        assert!(ctx.is_valid(), "context {ctx} out of range");
+        assert!(
+            mailbox < MAILBOXES_PER_CONTEXT,
+            "mailbox {mailbox} out of range"
+        );
+        self.ctx_vector |= 1 << ctx.0;
+        self.per_ctx[ctx.0 as usize] |= 1 << mailbox;
+        self.noted += 1;
+    }
+
+    /// Whether any event is pending.
+    pub fn has_events(&self) -> bool {
+        self.ctx_vector != 0
+    }
+
+    /// Firmware decode: pops the lowest pending (context, mailbox) event.
+    pub fn pop_event(&mut self) -> Option<(ContextId, usize)> {
+        if self.ctx_vector == 0 {
+            return None;
+        }
+        let ctx = self.ctx_vector.trailing_zeros() as usize;
+        let word = &mut self.per_ctx[ctx];
+        debug_assert!(*word != 0, "level-1 bit set with empty level-2 word");
+        let mailbox = word.trailing_zeros() as usize;
+        *word &= !(1 << mailbox);
+        if *word == 0 {
+            self.ctx_vector &= !(1 << ctx);
+        }
+        Some((ContextId(ctx as u8), mailbox))
+    }
+
+    /// Firmware event-clear: drops every pending event of one context at
+    /// once (the paper's "clear multiple events from a single context").
+    pub fn clear_context(&mut self, ctx: ContextId) {
+        if ctx.is_valid() {
+            self.per_ctx[ctx.0 as usize] = 0;
+            self.ctx_vector &= !(1 << ctx.0);
+        }
+    }
+
+    /// Pending events for one context, as a mailbox bitmask.
+    pub fn pending_for(&self, ctx: ContextId) -> u32 {
+        if ctx.is_valid() {
+            self.per_ctx[ctx.0 as usize]
+        } else {
+            0
+        }
+    }
+
+    /// Lifetime count of snooped writes.
+    pub fn noted(&self) -> u64 {
+        self.noted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_writes_coalesce_into_one_event() {
+        let mut u = MailboxEventUnit::new();
+        u.note_write(ContextId(3), 0);
+        u.note_write(ContextId(3), 0);
+        u.note_write(ContextId(3), 0);
+        assert_eq!(u.pop_event(), Some((ContextId(3), 0)));
+        assert_eq!(u.pop_event(), None);
+        assert_eq!(u.noted(), 3);
+    }
+
+    #[test]
+    fn hierarchy_decodes_in_order() {
+        let mut u = MailboxEventUnit::new();
+        u.note_write(ContextId(31), 23);
+        u.note_write(ContextId(0), 5);
+        u.note_write(ContextId(0), 1);
+        assert_eq!(u.pop_event(), Some((ContextId(0), 1)));
+        assert_eq!(u.pop_event(), Some((ContextId(0), 5)));
+        assert_eq!(u.pop_event(), Some((ContextId(31), 23)));
+        assert!(!u.has_events());
+    }
+
+    #[test]
+    fn clear_context_drops_only_that_context() {
+        let mut u = MailboxEventUnit::new();
+        u.note_write(ContextId(1), 0);
+        u.note_write(ContextId(1), 1);
+        u.note_write(ContextId(2), 0);
+        u.clear_context(ContextId(1));
+        assert_eq!(u.pending_for(ContextId(1)), 0);
+        assert_eq!(u.pop_event(), Some((ContextId(2), 0)));
+        assert_eq!(u.pop_event(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_mailbox_panics() {
+        let mut u = MailboxEventUnit::new();
+        u.note_write(ContextId(0), MAILBOXES_PER_CONTEXT);
+    }
+}

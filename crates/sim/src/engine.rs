@@ -1,0 +1,312 @@
+//! The event queue and run loop.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// A model that reacts to events.
+///
+/// The full-machine model in `cdna-system` implements this; each event is
+/// dispatched with the current time and a [`Scheduler`] through which the
+/// handler enqueues follow-up events.
+pub trait World {
+    /// The closed set of events this world reacts to.
+    type Event;
+
+    /// Handles one event at simulated time `now`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+#[derive(Debug)]
+struct Queued<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Queued<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Queued<E> {}
+impl<E> PartialOrd for Queued<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Queued<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The pending-event queue, exposed to handlers for scheduling follow-ups.
+///
+/// Events at equal times are delivered in the order they were scheduled
+/// (FIFO), which keeps runs deterministic.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    queue: BinaryHeap<Reverse<Queued<E>>>,
+    next_seq: u64,
+    scheduled: u64,
+}
+
+impl<E> Scheduler<E> {
+    fn new() -> Self {
+        Scheduler {
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            scheduled: 0,
+        }
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than `now` (time travel would break the
+    /// monotonicity invariant the whole simulation relies on).
+    pub fn at(&mut self, now: SimTime, at: SimTime, event: E) {
+        assert!(at >= now, "scheduled event in the past: now={now}, at={at}",);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled += 1;
+        self.queue.push(Reverse(Queued { at, seq, event }));
+    }
+
+    /// Schedules `event` at `now + delay`.
+    pub fn after(&mut self, now: SimTime, delay: SimTime, event: E) {
+        self.at(now, now + delay, event);
+    }
+
+    /// Number of events currently pending.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total number of events scheduled since construction.
+    pub fn total_scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    fn pop(&mut self) -> Option<Queued<E>> {
+        self.queue.pop().map(|Reverse(q)| q)
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|Reverse(q)| q.at)
+    }
+}
+
+/// A world plus its event queue and clock.
+///
+/// See the crate-level documentation for a runnable example.
+#[derive(Debug)]
+pub struct Simulation<W: World> {
+    world: W,
+    sched: Scheduler<W::Event>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<W: World> Simulation<W> {
+    /// Creates a simulation at time zero.
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            sched: Scheduler::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Shared access to the model.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Exclusive access to the model (used by harnesses to inject state
+    /// between phases, e.g. to reset measurement counters after warm-up).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consumes the simulation, returning the model.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Schedules an event at absolute time `at` (≥ the current time).
+    pub fn schedule(&mut self, at: SimTime, event: W::Event) {
+        self.sched.at(self.now, at, event);
+    }
+
+    /// Schedules an event `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: SimTime, event: W::Event) {
+        self.sched.after(self.now, delay, event);
+    }
+
+    /// Processes a single event, if any is pending. Returns `true` if one
+    /// was processed.
+    pub fn step(&mut self) -> bool {
+        match self.sched.pop() {
+            Some(q) => {
+                debug_assert!(q.at >= self.now, "event queue went backwards");
+                self.now = q.at;
+                self.processed += 1;
+                self.world.handle(self.now, q.event, &mut self.sched);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the queue is empty or the next event lies strictly after
+    /// `deadline`; the clock is then advanced to `deadline`.
+    ///
+    /// Returns the number of events processed by this call.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let before = self.processed;
+        while let Some(t) = self.sched.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(deadline);
+        self.processed - before
+    }
+
+    /// Runs until the event queue drains completely.
+    ///
+    /// Returns the number of events processed. Worlds that self-perpetuate
+    /// (e.g. periodic timers) never drain; use [`Simulation::run_until`]
+    /// for those.
+    pub fn run_to_completion(&mut self) -> u64 {
+        let before = self.processed;
+        while self.step() {}
+        self.processed - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+    }
+
+    impl World for Recorder {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, _s: &mut Scheduler<u32>) {
+            self.seen.push((now, ev));
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.schedule(SimTime::from_us(30), 3);
+        sim.schedule(SimTime::from_us(10), 1);
+        sim.schedule(SimTime::from_us(20), 2);
+        sim.run_to_completion();
+        let order: Vec<u32> = sim.world().seen.iter().map(|&(_, e)| e).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_fire_in_schedule_order() {
+        let mut sim = Simulation::new(Recorder::default());
+        for i in 0..100 {
+            sim.schedule(SimTime::from_us(5), i);
+        }
+        sim.run_to_completion();
+        let order: Vec<u32> = sim.world().seen.iter().map(|&(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_and_advances_clock() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.schedule(SimTime::from_us(10), 1);
+        sim.schedule(SimTime::from_us(90), 2);
+        let n = sim.run_until(SimTime::from_us(50));
+        assert_eq!(n, 1);
+        assert_eq!(sim.now(), SimTime::from_us(50));
+        assert_eq!(sim.world().seen.len(), 1);
+        sim.run_until(SimTime::from_us(100));
+        assert_eq!(sim.world().seen.len(), 2);
+    }
+
+    #[test]
+    fn deadline_is_inclusive() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.schedule(SimTime::from_us(50), 7);
+        sim.run_until(SimTime::from_us(50));
+        assert_eq!(sim.world().seen, vec![(SimTime::from_us(50), 7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled event in the past")]
+    fn scheduling_in_the_past_panics() {
+        struct Bad;
+        impl World for Bad {
+            type Event = ();
+            fn handle(&mut self, now: SimTime, _: (), s: &mut Scheduler<()>) {
+                // Try to schedule before `now`.
+                s.at(now, now - SimTime::from_ns(1), ());
+            }
+        }
+        let mut sim = Simulation::new(Bad);
+        sim.schedule(SimTime::from_us(1), ());
+        sim.run_to_completion();
+    }
+
+    struct Chain {
+        hops: u32,
+    }
+
+    impl World for Chain {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, s: &mut Scheduler<u32>) {
+            self.hops += 1;
+            if ev > 0 {
+                s.after(now, SimTime::from_ns(1), ev - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn handlers_can_schedule_follow_ups() {
+        let mut sim = Simulation::new(Chain { hops: 0 });
+        sim.schedule(SimTime::ZERO, 9);
+        let n = sim.run_to_completion();
+        assert_eq!(n, 10);
+        assert_eq!(sim.world().hops, 10);
+        assert_eq!(sim.now(), SimTime::from_ns(9));
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.schedule(SimTime::from_us(1), 1);
+        sim.schedule(SimTime::from_us(2), 2);
+        assert_eq!(sim.events_processed(), 0);
+        sim.run_to_completion();
+        assert_eq!(sim.events_processed(), 2);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests of the event engine's core guarantees.
+
+use cdna_sim::{Scheduler, SimTime, Simulation, World};
+use proptest::prelude::*;
+
+/// Records the order in which events arrive.
+struct Recorder {
+    seen: Vec<(SimTime, u64)>,
+}
+
+impl World for Recorder {
+    type Event = (SimTime, u64);
+    fn handle(&mut self, now: SimTime, ev: (SimTime, u64), _s: &mut Scheduler<(SimTime, u64)>) {
+        assert_eq!(now, ev.0, "event delivered at its scheduled time");
+        self.seen.push(ev);
+    }
+}
+
+proptest! {
+    /// Events always fire in nondecreasing time order, and ties fire in
+    /// scheduling order, for any scheduling pattern.
+    #[test]
+    fn delivery_is_time_ordered_and_fifo_within_ties(
+        times in prop::collection::vec(0u64..1_000, 1..200),
+    ) {
+        let mut sim = Simulation::new(Recorder { seen: Vec::new() });
+        for (i, &t) in times.iter().enumerate() {
+            let at = SimTime::from_us(t);
+            sim.schedule(at, (at, i as u64));
+        }
+        sim.run_to_completion();
+        let seen = &sim.world().seen;
+        prop_assert_eq!(seen.len(), times.len());
+        for w in seen.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO violated within a tie");
+            }
+        }
+    }
+
+    /// run_until(t) delivers exactly the events at or before t, and the
+    /// clock ends at t.
+    #[test]
+    fn run_until_partitions_the_timeline(
+        times in prop::collection::vec(0u64..1_000, 1..100),
+        cut in 0u64..1_000,
+    ) {
+        let mut sim = Simulation::new(Recorder { seen: Vec::new() });
+        for (i, &t) in times.iter().enumerate() {
+            let at = SimTime::from_us(t);
+            sim.schedule(at, (at, i as u64));
+        }
+        let deadline = SimTime::from_us(cut);
+        sim.run_until(deadline);
+        let expected_before = times.iter().filter(|&&t| t <= cut).count();
+        prop_assert_eq!(sim.world().seen.len(), expected_before);
+        prop_assert_eq!(sim.now(), deadline);
+        sim.run_to_completion();
+        prop_assert_eq!(sim.world().seen.len(), times.len());
+    }
+}
+
+/// Self-scheduling worlds interleave deterministically.
+#[test]
+fn chained_scheduling_is_deterministic() {
+    struct Chain {
+        trace: Vec<u64>,
+    }
+    impl World for Chain {
+        type Event = u64;
+        fn handle(&mut self, now: SimTime, ev: u64, s: &mut Scheduler<u64>) {
+            self.trace.push(ev);
+            if ev < 50 {
+                s.after(now, SimTime::from_ns(ev % 7 + 1), ev + 2);
+            }
+        }
+    }
+    let run = || {
+        let mut sim = Simulation::new(Chain { trace: Vec::new() });
+        sim.schedule(SimTime::ZERO, 0);
+        sim.schedule(SimTime::ZERO, 1);
+        sim.run_to_completion();
+        sim.into_world().trace
+    };
+    assert_eq!(run(), run());
+}

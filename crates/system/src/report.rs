@@ -1,0 +1,244 @@
+//! Experiment results, formatted like the paper's tables.
+
+use std::fmt;
+
+use cdna_xen::ExecutionProfile;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one testbed run — everything the paper's tables
+/// report, plus the simulation's internal counters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Configuration label ("CDNA/RiceNIC", ...).
+    pub label: String,
+    /// Guest domains.
+    pub guests: u16,
+    /// Achieved TCP payload throughput, Mb/s (transmit: measured at the
+    /// peer; receive: measured at guest application delivery).
+    pub throughput_mbps: f64,
+    /// The six-way execution profile.
+    pub profile: ExecutionProfile,
+    /// Physical NIC interrupts per second (summed over NICs). The
+    /// paper's "Driver Domain" interrupt column for Xen configurations
+    /// and "0" for CDNA (whose interrupts all land in the hypervisor).
+    pub nic_interrupts_per_s: f64,
+    /// Virtual interrupts per second delivered to guests (the paper's
+    /// "Guest OS" interrupt column).
+    pub guest_virq_per_s: f64,
+    /// Virtual interrupts per second delivered to the driver domain.
+    pub driver_virq_per_s: f64,
+    /// Packets delivered (direction-appropriate) during measurement.
+    pub packets: u64,
+    /// Receive frames dropped by the NIC (no buffer / demux miss).
+    pub rx_dropped: u64,
+    /// Page-flip exchanges per second (Xen receive path).
+    pub page_flips_per_s: f64,
+    /// Hypercalls per second (CDNA enqueue path).
+    pub hypercalls_per_s: f64,
+    /// Domain switches per second.
+    pub domain_switches_per_s: f64,
+    /// Protection faults observed (must be 0 in benign runs).
+    pub protection_faults: u64,
+    /// Per-guest payload throughput in Mb/s, in guest order (transmit:
+    /// bytes the guest committed; receive: bytes delivered to its
+    /// application) — how the paper's "balances the bandwidth across all
+    /// connections" claim is checked.
+    pub per_guest_mbps: Vec<f64>,
+    /// Simulation events processed (diagnostics).
+    pub events_processed: u64,
+}
+
+impl RunReport {
+    /// CPU idle percentage, as the paper annotates on Figures 3/4.
+    pub fn idle_pct(&self) -> f64 {
+        self.profile.idle_frac * 100.0
+    }
+
+    /// Jain's fairness index over the per-guest throughputs (1.0 =
+    /// perfectly fair; 1/n = one guest hogging everything).
+    pub fn fairness_index(&self) -> f64 {
+        let n = self.per_guest_mbps.len() as f64;
+        if n == 0.0 {
+            return 1.0;
+        }
+        let sum: f64 = self.per_guest_mbps.iter().sum();
+        let sq_sum: f64 = self.per_guest_mbps.iter().map(|x| x * x).sum();
+        if sq_sum == 0.0 {
+            return 1.0;
+        }
+        sum * sum / (n * sq_sum)
+    }
+
+    /// One line in the style of the paper's Tables 2/3: throughput,
+    /// profile percentages, and interrupt rates.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<24} {:>6.0} Mb/s | hyp {:>5.1}%  drvU {:>4.1}%  drvOS {:>5.1}%  gstU {:>4.1}%  gstOS {:>5.1}%  idle {:>5.1}% | drv-int/s {:>6.0}  gst-int/s {:>6.0}",
+            self.label,
+            self.throughput_mbps,
+            self.profile.hypervisor_frac * 100.0,
+            self.profile.driver_user_frac * 100.0,
+            self.profile.driver_kernel_frac * 100.0,
+            self.profile.guest_user_frac * 100.0,
+            self.profile.guest_kernel_frac * 100.0,
+            self.profile.idle_frac * 100.0,
+            self.driver_virq_per_s,
+            self.guest_virq_per_s,
+        )
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} ({} guest{}): {:.0} Mb/s",
+            self.label,
+            self.guests,
+            if self.guests == 1 { "" } else { "s" },
+            self.throughput_mbps
+        )?;
+        writeln!(
+            f,
+            "  profile: hyp {:.1}% | driver {:.1}%+{:.1}% | guest {:.1}%+{:.1}% | idle {:.1}%",
+            self.profile.hypervisor_frac * 100.0,
+            self.profile.driver_kernel_frac * 100.0,
+            self.profile.driver_user_frac * 100.0,
+            self.profile.guest_kernel_frac * 100.0,
+            self.profile.guest_user_frac * 100.0,
+            self.profile.idle_frac * 100.0,
+        )?;
+        writeln!(
+            f,
+            "  interrupts/s: nic {:.0}, driver virq {:.0}, guest virq {:.0}",
+            self.nic_interrupts_per_s, self.driver_virq_per_s, self.guest_virq_per_s
+        )?;
+        write!(
+            f,
+            "  packets {} | drops {} | flips/s {:.0} | hypercalls/s {:.0} | switches/s {:.0} | faults {}",
+            self.packets,
+            self.rx_dropped,
+            self.page_flips_per_s,
+            self.hypercalls_per_s,
+            self.domain_switches_per_s,
+            self.protection_faults
+        )
+    }
+}
+
+/// A paper-vs-simulated comparison cell used by the bench binaries.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Value the paper reports.
+    pub paper: f64,
+    /// Value this reproduction measured.
+    pub simulated: f64,
+}
+
+impl Comparison {
+    /// Creates a comparison.
+    pub fn new(paper: f64, simulated: f64) -> Self {
+        Comparison { paper, simulated }
+    }
+
+    /// simulated / paper.
+    pub fn ratio(&self) -> f64 {
+        if self.paper == 0.0 {
+            if self.simulated == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.simulated / self.paper
+        }
+    }
+
+    /// Whether the simulated value is within `tol` (fractional) of the
+    /// paper's.
+    pub fn within(&self, tol: f64) -> bool {
+        if self.paper == 0.0 {
+            return self.simulated.abs() < 1e-9;
+        }
+        (self.ratio() - 1.0).abs() <= tol
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "paper {:>8.1} | sim {:>8.1} | ratio {:>5.2}",
+            self.paper,
+            self.simulated,
+            self.ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            label: "CDNA/RiceNIC".into(),
+            guests: 1,
+            throughput_mbps: 1867.0,
+            profile: ExecutionProfile {
+                hypervisor_frac: 0.102,
+                driver_kernel_frac: 0.003,
+                driver_user_frac: 0.002,
+                guest_kernel_frac: 0.378,
+                guest_user_frac: 0.007,
+                idle_frac: 0.508,
+            },
+            nic_interrupts_per_s: 13659.0,
+            guest_virq_per_s: 13659.0,
+            driver_virq_per_s: 0.0,
+            packets: 100_000,
+            rx_dropped: 0,
+            page_flips_per_s: 0.0,
+            hypercalls_per_s: 16_000.0,
+            domain_switches_per_s: 27_000.0,
+            protection_faults: 0,
+            per_guest_mbps: vec![1867.0],
+            events_processed: 1_000_000,
+        }
+    }
+
+    #[test]
+    fn idle_pct() {
+        assert!((report().idle_pct() - 50.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_contains_key_numbers() {
+        let s = report().to_string();
+        assert!(s.contains("1867"));
+        assert!(s.contains("50.8%"));
+        assert!(s.contains("13659"));
+    }
+
+    #[test]
+    fn fairness_index_math() {
+        let mut r = report();
+        r.per_guest_mbps = vec![100.0, 100.0, 100.0, 100.0];
+        assert!((r.fairness_index() - 1.0).abs() < 1e-12);
+        r.per_guest_mbps = vec![400.0, 0.0, 0.0, 0.0];
+        assert!((r.fairness_index() - 0.25).abs() < 1e-12);
+        r.per_guest_mbps = vec![];
+        assert_eq!(r.fairness_index(), 1.0);
+    }
+
+    #[test]
+    fn comparison_math() {
+        let c = Comparison::new(1602.0, 1630.0);
+        assert!(c.within(0.05));
+        assert!(!c.within(0.01));
+        assert!((c.ratio() - 1.0175).abs() < 1e-3);
+        let zero = Comparison::new(0.0, 0.0);
+        assert!(zero.within(0.1));
+        assert_eq!(zero.ratio(), 1.0);
+    }
+}

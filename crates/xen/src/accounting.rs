@@ -1,0 +1,245 @@
+//! CPU time accounting — the reproduction's Xenoprof.
+//!
+//! Every code path in the simulation charges its cost to an
+//! [`ExecCategory`]; the ledger accumulates time inside a measurement
+//! window and renders the paper's six-column execution profile
+//! (hypervisor / driver-domain user / driver-domain kernel / guest user /
+//! guest kernel / idle).
+
+use std::collections::HashMap;
+
+use cdna_mem::DomainId;
+use cdna_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Where a slice of CPU time was spent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecCategory {
+    /// Inside the hypervisor (interrupt dispatch, hypercalls, page flips,
+    /// DMA validation, scheduling).
+    Hypervisor,
+    /// A domain's kernel: network stack, drivers, bridging.
+    Kernel(DomainId),
+    /// A domain's user space: the benchmark application.
+    User(DomainId),
+    /// Nothing runnable.
+    Idle,
+}
+
+/// The per-category time ledger.
+///
+/// # Example
+///
+/// ```
+/// use cdna_mem::DomainId;
+/// use cdna_sim::SimTime;
+/// use cdna_xen::{CpuLedger, ExecCategory};
+///
+/// let mut ledger = CpuLedger::new();
+/// ledger.start_window(SimTime::ZERO);
+/// ledger.charge(ExecCategory::Hypervisor, SimTime::from_ms(10));
+/// ledger.charge(ExecCategory::Kernel(DomainId::guest(0)), SimTime::from_ms(40));
+/// ledger.close_window(SimTime::from_ms(100));
+/// let profile = ledger.profile();
+/// assert!((profile.hypervisor_frac - 0.10).abs() < 1e-9);
+/// assert!((profile.idle_frac - 0.50).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CpuLedger {
+    charges: HashMap<ExecCategory, SimTime>,
+    window_start: SimTime,
+    window_end: Option<SimTime>,
+    recording: bool,
+}
+
+impl CpuLedger {
+    /// A ledger that ignores charges until a window opens.
+    pub fn new() -> Self {
+        CpuLedger::default()
+    }
+
+    /// Opens the measurement window (clears previous charges).
+    pub fn start_window(&mut self, now: SimTime) {
+        self.charges.clear();
+        self.window_start = now;
+        self.window_end = None;
+        self.recording = true;
+    }
+
+    /// Closes the measurement window.
+    pub fn close_window(&mut self, now: SimTime) {
+        if self.recording {
+            self.window_end = Some(now);
+            self.recording = false;
+        }
+    }
+
+    /// Charges `dt` of CPU time to `cat` (ignored outside the window).
+    pub fn charge(&mut self, cat: ExecCategory, dt: SimTime) {
+        if self.recording && dt > SimTime::ZERO {
+            *self.charges.entry(cat).or_insert(SimTime::ZERO) += dt;
+        }
+    }
+
+    /// Whether a window is currently open.
+    pub fn recording(&self) -> bool {
+        self.recording
+    }
+
+    /// Total time charged to `cat` in the window.
+    pub fn charged(&self, cat: ExecCategory) -> SimTime {
+        self.charges.get(&cat).copied().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Busy time (all categories) in the window.
+    pub fn total_busy(&self) -> SimTime {
+        self.charges.values().copied().sum()
+    }
+
+    /// Renders the execution profile over the closed window. Idle is the
+    /// remainder of the window not charged anywhere.
+    ///
+    /// A work batch that started before the window closed may charge its
+    /// full cost inside it, so up to 1 % overshoot is tolerated (idle
+    /// clamps at zero); more than that indicates an over-commitment bug
+    /// in the CPU model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is still open, or on over-commitment beyond
+    /// the boundary tolerance.
+    pub fn profile(&self) -> ExecutionProfile {
+        assert!(!self.recording, "profile requested while window open");
+        let end = self.window_end.expect("window was never opened");
+        let span = end - self.window_start;
+        let span_s = span.as_secs_f64();
+        assert!(span_s > 0.0, "empty measurement window");
+        let busy = self.total_busy();
+        assert!(
+            busy.as_secs_f64() <= span_s * 1.01,
+            "CPU over-committed: {busy} charged in a {span} window"
+        );
+
+        let mut hyp = SimTime::ZERO;
+        let mut driver_kernel = SimTime::ZERO;
+        let mut driver_user = SimTime::ZERO;
+        let mut guest_kernel = SimTime::ZERO;
+        let mut guest_user = SimTime::ZERO;
+        for (&cat, &t) in &self.charges {
+            match cat {
+                ExecCategory::Hypervisor => hyp += t,
+                ExecCategory::Kernel(d) if d == DomainId::DRIVER => driver_kernel += t,
+                ExecCategory::User(d) if d == DomainId::DRIVER => driver_user += t,
+                ExecCategory::Kernel(_) => guest_kernel += t,
+                ExecCategory::User(_) => guest_user += t,
+                ExecCategory::Idle => {}
+            }
+        }
+        let frac = |t: SimTime| t.as_secs_f64() / span_s;
+        ExecutionProfile {
+            hypervisor_frac: frac(hyp),
+            driver_kernel_frac: frac(driver_kernel),
+            driver_user_frac: frac(driver_user),
+            guest_kernel_frac: frac(guest_kernel),
+            guest_user_frac: frac(guest_user),
+            idle_frac: frac(span.saturating_sub(busy)),
+        }
+    }
+}
+
+/// The paper's "Domain Execution Profile" row: fractions of the
+/// measurement window spent in each place (summing to 1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionProfile {
+    /// Hypervisor time.
+    pub hypervisor_frac: f64,
+    /// Driver-domain kernel ("Driver OS") time.
+    pub driver_kernel_frac: f64,
+    /// Driver-domain user time.
+    pub driver_user_frac: f64,
+    /// Guest kernel ("Guest OS") time, summed over guests.
+    pub guest_kernel_frac: f64,
+    /// Guest user time, summed over guests.
+    pub guest_user_frac: f64,
+    /// Idle time.
+    pub idle_frac: f64,
+}
+
+impl ExecutionProfile {
+    /// Sanity: the six fractions sum to ~1. A saturated run whose final
+    /// work batch straddled the window close may overshoot by up to the
+    /// ledger's 1 % boundary tolerance.
+    pub fn sums_to_one(&self) -> bool {
+        let s = self.hypervisor_frac
+            + self.driver_kernel_frac
+            + self.driver_user_frac
+            + self.guest_kernel_frac
+            + self.guest_user_frac
+            + self.idle_frac;
+        (s - 1.0).abs() < 1.5e-2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_outside_window_ignored() {
+        let mut l = CpuLedger::new();
+        l.charge(ExecCategory::Hypervisor, SimTime::from_ms(5));
+        l.start_window(SimTime::from_ms(10));
+        l.charge(ExecCategory::Hypervisor, SimTime::from_ms(5));
+        l.close_window(SimTime::from_ms(110));
+        l.charge(ExecCategory::Hypervisor, SimTime::from_ms(50));
+        assert_eq!(l.charged(ExecCategory::Hypervisor), SimTime::from_ms(5));
+    }
+
+    #[test]
+    fn profile_splits_driver_and_guest() {
+        let mut l = CpuLedger::new();
+        l.start_window(SimTime::ZERO);
+        l.charge(ExecCategory::Hypervisor, SimTime::from_ms(10));
+        l.charge(ExecCategory::Kernel(DomainId::DRIVER), SimTime::from_ms(20));
+        l.charge(ExecCategory::User(DomainId::DRIVER), SimTime::from_ms(5));
+        l.charge(
+            ExecCategory::Kernel(DomainId::guest(0)),
+            SimTime::from_ms(30),
+        );
+        l.charge(
+            ExecCategory::Kernel(DomainId::guest(1)),
+            SimTime::from_ms(10),
+        );
+        l.charge(ExecCategory::User(DomainId::guest(0)), SimTime::from_ms(5));
+        l.close_window(SimTime::from_ms(100));
+        let p = l.profile();
+        assert!((p.hypervisor_frac - 0.10).abs() < 1e-9);
+        assert!((p.driver_kernel_frac - 0.20).abs() < 1e-9);
+        assert!((p.driver_user_frac - 0.05).abs() < 1e-9);
+        assert!((p.guest_kernel_frac - 0.40).abs() < 1e-9);
+        assert!((p.guest_user_frac - 0.05).abs() < 1e-9);
+        assert!((p.idle_frac - 0.20).abs() < 1e-9);
+        assert!(p.sums_to_one());
+    }
+
+    #[test]
+    #[should_panic(expected = "over-committed")]
+    fn overcommit_detected() {
+        let mut l = CpuLedger::new();
+        l.start_window(SimTime::ZERO);
+        l.charge(ExecCategory::Hypervisor, SimTime::from_ms(200));
+        l.close_window(SimTime::from_ms(100));
+        let _ = l.profile();
+    }
+
+    #[test]
+    fn restarting_window_clears_charges() {
+        let mut l = CpuLedger::new();
+        l.start_window(SimTime::ZERO);
+        l.charge(ExecCategory::Hypervisor, SimTime::from_ms(10));
+        l.start_window(SimTime::from_ms(50));
+        l.close_window(SimTime::from_ms(150));
+        assert_eq!(l.charged(ExecCategory::Hypervisor), SimTime::ZERO);
+        assert!((l.profile().idle_frac - 1.0).abs() < 1e-9);
+    }
+}

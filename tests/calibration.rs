@@ -1,0 +1,266 @@
+//! Paper-vs-simulation calibration tests: every table row must land
+//! within tolerance of the published value (shortened measurement
+//! windows, hence slightly looser bounds than the bench binaries).
+
+use cdna_core::DmaPolicy;
+use cdna_system::{run_experiment, Comparison, Direction, IoModel, NicKind, TestbedConfig};
+
+fn run(io: IoModel, guests: u16, dir: Direction) -> cdna_system::RunReport {
+    run_experiment(TestbedConfig::new(io, guests, dir).quick())
+}
+
+#[test]
+fn table1_native_linux_transmit() {
+    let mut cfg = TestbedConfig::new(
+        IoModel::Native {
+            nic: NicKind::Intel,
+        },
+        1,
+        Direction::Transmit,
+    )
+    .with_nics(6)
+    .quick();
+    cfg.conns_per_guest = 12;
+    let r = run_experiment(cfg);
+    assert!(
+        Comparison::new(5126.0, r.throughput_mbps).within(0.12),
+        "native TX {} vs paper 5126",
+        r.throughput_mbps
+    );
+}
+
+#[test]
+fn table1_native_linux_receive() {
+    let mut cfg = TestbedConfig::new(
+        IoModel::Native {
+            nic: NicKind::Intel,
+        },
+        1,
+        Direction::Receive,
+    )
+    .with_nics(6)
+    .quick();
+    cfg.conns_per_guest = 12;
+    let r = run_experiment(cfg);
+    assert!(
+        Comparison::new(3629.0, r.throughput_mbps).within(0.12),
+        "native RX {} vs paper 3629",
+        r.throughput_mbps
+    );
+}
+
+#[test]
+fn table1_shape_guest_is_about_30_percent_of_native() {
+    let mut native = TestbedConfig::new(
+        IoModel::Native {
+            nic: NicKind::Intel,
+        },
+        1,
+        Direction::Transmit,
+    )
+    .with_nics(6)
+    .quick();
+    native.conns_per_guest = 12;
+    let native = run_experiment(native);
+    let mut xen = TestbedConfig::new(
+        IoModel::XenBridged {
+            nic: NicKind::Intel,
+        },
+        1,
+        Direction::Transmit,
+    )
+    .with_nics(6)
+    .quick();
+    xen.conns_per_guest = 12;
+    let xen = run_experiment(xen);
+    let frac = xen.throughput_mbps / native.throughput_mbps;
+    assert!(
+        (0.2..0.45).contains(&frac),
+        "Xen guest at {:.0}% of native (paper: ~31%)",
+        frac * 100.0
+    );
+}
+
+#[test]
+fn table2_xen_intel_transmit() {
+    let r = run(
+        IoModel::XenBridged {
+            nic: NicKind::Intel,
+        },
+        1,
+        Direction::Transmit,
+    );
+    assert!(
+        Comparison::new(1602.0, r.throughput_mbps).within(0.08),
+        "{}",
+        r.throughput_mbps
+    );
+    assert!(
+        Comparison::new(19.8, r.profile.hypervisor_frac * 100.0).within(0.25),
+        "hyp {}",
+        r.profile.hypervisor_frac
+    );
+    assert!(
+        Comparison::new(35.7, r.profile.driver_kernel_frac * 100.0).within(0.25),
+        "driver {}",
+        r.profile.driver_kernel_frac
+    );
+}
+
+#[test]
+fn table2_xen_ricenic_transmit() {
+    let r = run(
+        IoModel::XenBridged {
+            nic: NicKind::RiceNic,
+        },
+        1,
+        Direction::Transmit,
+    );
+    assert!(
+        Comparison::new(1674.0, r.throughput_mbps).within(0.08),
+        "{}",
+        r.throughput_mbps
+    );
+}
+
+#[test]
+fn table2_cdna_transmit() {
+    let r = run(
+        IoModel::Cdna {
+            policy: DmaPolicy::Validated,
+        },
+        1,
+        Direction::Transmit,
+    );
+    assert!(
+        Comparison::new(1867.0, r.throughput_mbps).within(0.05),
+        "{}",
+        r.throughput_mbps
+    );
+    assert!(
+        Comparison::new(50.8, r.profile.idle_frac * 100.0).within(0.10),
+        "idle {}",
+        r.profile.idle_frac
+    );
+    assert!(
+        Comparison::new(13659.0, r.guest_virq_per_s).within(0.10),
+        "guest int {}",
+        r.guest_virq_per_s
+    );
+    assert_eq!(
+        r.driver_virq_per_s, 0.0,
+        "CDNA has no driver-domain interrupts"
+    );
+}
+
+#[test]
+fn table3_xen_intel_receive() {
+    let r = run(
+        IoModel::XenBridged {
+            nic: NicKind::Intel,
+        },
+        1,
+        Direction::Receive,
+    );
+    assert!(
+        Comparison::new(1112.0, r.throughput_mbps).within(0.08),
+        "{}",
+        r.throughput_mbps
+    );
+}
+
+#[test]
+fn table3_xen_ricenic_receive() {
+    let r = run(
+        IoModel::XenBridged {
+            nic: NicKind::RiceNic,
+        },
+        1,
+        Direction::Receive,
+    );
+    assert!(
+        Comparison::new(1075.0, r.throughput_mbps).within(0.08),
+        "{}",
+        r.throughput_mbps
+    );
+}
+
+#[test]
+fn table3_cdna_receive() {
+    let r = run(
+        IoModel::Cdna {
+            policy: DmaPolicy::Validated,
+        },
+        1,
+        Direction::Receive,
+    );
+    assert!(
+        Comparison::new(1874.0, r.throughput_mbps).within(0.05),
+        "{}",
+        r.throughput_mbps
+    );
+    assert!(
+        Comparison::new(40.9, r.profile.idle_frac * 100.0).within(0.10),
+        "idle {}",
+        r.profile.idle_frac
+    );
+}
+
+#[test]
+fn table4_disabling_protection_frees_cpu_without_changing_throughput() {
+    for dir in [Direction::Transmit, Direction::Receive] {
+        let on = run(
+            IoModel::Cdna {
+                policy: DmaPolicy::Validated,
+            },
+            1,
+            dir,
+        );
+        let off = run(
+            IoModel::Cdna {
+                policy: DmaPolicy::Unprotected,
+            },
+            1,
+            dir,
+        );
+        assert!(
+            (on.throughput_mbps - off.throughput_mbps).abs() < 20.0,
+            "throughput must be unchanged: {} vs {}",
+            on.throughput_mbps,
+            off.throughput_mbps
+        );
+        let idle_gain = (off.profile.idle_frac - on.profile.idle_frac) * 100.0;
+        assert!(
+            (5.0..14.0).contains(&idle_gain),
+            "{dir:?}: idle gain {idle_gain:.1}% (paper: ~9.5%)"
+        );
+        let hyp_drop = (on.profile.hypervisor_frac - off.profile.hypervisor_frac) * 100.0;
+        assert!(
+            hyp_drop > 5.0,
+            "{dir:?}: hypervisor share must fall: {hyp_drop:.1}%"
+        );
+    }
+}
+
+#[test]
+fn cdna_hypervisor_time_is_protection_dominated() {
+    // Paper §5.2: with CDNA the hypervisor "spends the bulk of its time
+    // managing DMA memory protection" — disabling protection must remove
+    // most hypervisor time (Table 4: 10.2% -> 1.9%).
+    let on = run(
+        IoModel::Cdna {
+            policy: DmaPolicy::Validated,
+        },
+        1,
+        Direction::Transmit,
+    );
+    let off = run(
+        IoModel::Cdna {
+            policy: DmaPolicy::Unprotected,
+        },
+        1,
+        Direction::Transmit,
+    );
+    let ratio = off.profile.hypervisor_frac / on.profile.hypervisor_frac;
+    assert!(ratio < 0.4, "protection-off hypervisor share ratio {ratio}");
+}

@@ -1,0 +1,114 @@
+//! Reproducibility: identical configurations produce bit-identical
+//! reports; seeds and measurement windows behave sanely.
+
+use cdna_core::DmaPolicy;
+use cdna_sim::SimTime;
+use cdna_system::{run_experiment, Direction, IoModel, NicKind, TestbedConfig};
+
+#[test]
+fn identical_configs_produce_identical_reports() {
+    let mk = || {
+        TestbedConfig::new(
+            IoModel::Cdna {
+                policy: DmaPolicy::Validated,
+            },
+            3,
+            Direction::Transmit,
+        )
+        .quick()
+    };
+    let a = run_experiment(mk());
+    let b = run_experiment(mk());
+    assert_eq!(a.throughput_mbps, b.throughput_mbps);
+    assert_eq!(a.packets, b.packets);
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.guest_virq_per_s, b.guest_virq_per_s);
+    assert_eq!(a.profile, b.profile);
+}
+
+#[test]
+fn xen_runs_are_deterministic_too() {
+    let mk = || {
+        TestbedConfig::new(
+            IoModel::XenBridged {
+                nic: NicKind::Intel,
+            },
+            2,
+            Direction::Receive,
+        )
+        .quick()
+    };
+    let a = run_experiment(mk());
+    let b = run_experiment(mk());
+    assert_eq!(a.throughput_mbps, b.throughput_mbps);
+    assert_eq!(a.rx_dropped, b.rx_dropped);
+    assert_eq!(a.domain_switches_per_s, b.domain_switches_per_s);
+}
+
+#[test]
+fn longer_windows_converge_to_the_same_rate() {
+    let mut short = TestbedConfig::new(
+        IoModel::Cdna {
+            policy: DmaPolicy::Validated,
+        },
+        1,
+        Direction::Transmit,
+    );
+    short.warmup = SimTime::from_ms(50);
+    short.measure = SimTime::from_ms(100);
+    let mut long = short.clone();
+    long.measure = SimTime::from_ms(500);
+    let a = run_experiment(short);
+    let b = run_experiment(long);
+    assert!(
+        (a.throughput_mbps - b.throughput_mbps).abs() < 15.0,
+        "short {} vs long {}",
+        a.throughput_mbps,
+        b.throughput_mbps
+    );
+}
+
+#[test]
+fn packet_accounting_is_consistent_with_throughput() {
+    let cfg = TestbedConfig::new(
+        IoModel::Cdna {
+            policy: DmaPolicy::Validated,
+        },
+        1,
+        Direction::Transmit,
+    )
+    .quick();
+    let window_s = cfg.measure.as_secs_f64();
+    let r = run_experiment(cfg);
+    let implied_mbps = r.packets as f64 * 1460.0 * 8.0 / window_s / 1e6;
+    assert!(
+        (implied_mbps - r.throughput_mbps).abs() / r.throughput_mbps < 0.01,
+        "packets {} imply {:.0} Mb/s but report says {:.0}",
+        r.packets,
+        implied_mbps,
+        r.throughput_mbps
+    );
+}
+
+#[test]
+fn profile_fractions_always_sum_to_one() {
+    for io in [
+        IoModel::Native {
+            nic: NicKind::Intel,
+        },
+        IoModel::XenBridged {
+            nic: NicKind::Intel,
+        },
+        IoModel::XenBridged {
+            nic: NicKind::RiceNic,
+        },
+        IoModel::Cdna {
+            policy: DmaPolicy::Validated,
+        },
+    ] {
+        for dir in [Direction::Transmit, Direction::Receive] {
+            let r = run_experiment(TestbedConfig::new(io, 2, dir).quick());
+            assert!(r.profile.sums_to_one(), "{io:?} {dir:?}: {:?}", r.profile);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Property-based tests of the core CDNA invariants.
+
+use cdna_core::{
+    BitVectorRing, ContextId, DmaPolicy, InterruptBitVector, ProtectionEngine, SeqChecker,
+    SeqStamper, TxRequest, VectorPort,
+};
+use cdna_mem::{BufferSlice, DomainId, PhysMem};
+use cdna_net::{FlowId, MacAddr};
+use cdna_nic::{DescFlags, FrameMeta, RingTable};
+use proptest::prelude::*;
+
+proptest! {
+    /// A checker accepts any prefix of a stamper's stream and rejects any
+    /// single substituted value.
+    #[test]
+    fn seqnum_accepts_stream_rejects_substitution(
+        modulus_pow in 2u32..12,
+        len in 1usize..500,
+        corrupt_at in 0usize..500,
+        delta in 1u32..100,
+    ) {
+        let modulus = 1u32 << modulus_pow;
+        let mut stamper = SeqStamper::new(modulus);
+        let stream: Vec<u32> = (0..len).map(|_| stamper.next()).collect();
+        let corrupt_at = corrupt_at % len;
+
+        let mut checker = SeqChecker::new(modulus);
+        for (i, &v) in stream.iter().enumerate() {
+            let v = if i == corrupt_at {
+                (v + (delta % (modulus - 1)) + 1) % modulus
+            } else {
+                v
+            };
+            let result = checker.check(v);
+            if i < corrupt_at {
+                prop_assert!(result.is_ok());
+            } else if i == corrupt_at {
+                prop_assert!(result.is_err(), "corruption accepted at {i}");
+                break;
+            }
+        }
+    }
+
+    /// A one-lap-stale replay is detected iff the sequence space is at
+    /// least twice the ring size (the paper's aliasing rule).
+    #[test]
+    fn stale_lap_detection_follows_aliasing_rule(
+        ring_pow in 2u32..8,
+        extra_pow in 0u32..3,
+    ) {
+        let ring_size = 1u32 << ring_pow;
+        let modulus = ring_size << extra_pow; // 1x, 2x, or 4x ring size
+        let mut stamper = SeqStamper::new(modulus);
+        let mut checker = SeqChecker::new(modulus);
+        let first_lap: Vec<u32> = (0..ring_size).map(|_| stamper.next()).collect();
+        for &v in &first_lap {
+            checker.check(v).unwrap();
+        }
+        let stale = first_lap[0];
+        let detected = checker.check(stale).is_err();
+        let rule_satisfied = modulus >= 2 * ring_size;
+        prop_assert_eq!(detected, rule_satisfied,
+            "ring {}, modulus {}: detected={}", ring_size, modulus, detected);
+    }
+
+    /// The vector port + ring never lose a context update, regardless of
+    /// the interleaving of updates, flushes, and drains.
+    #[test]
+    fn interrupt_bit_vectors_never_lose_updates(
+        ops in prop::collection::vec((0u8..3, 0u8..32), 1..200),
+        ring_pow in 1u32..5,
+    ) {
+        let mut port = VectorPort::new();
+        let mut ring = BitVectorRing::new(1 << ring_pow);
+        let mut noted = InterruptBitVector::EMPTY;
+        let mut seen = InterruptBitVector::EMPTY;
+        for (op, ctx) in ops {
+            match op {
+                0 => {
+                    port.note_update(ContextId(ctx));
+                    noted.set(ContextId(ctx));
+                }
+                1 => {
+                    let _ = port.flush(&mut ring);
+                }
+                _ => {
+                    seen.merge(ring.drain());
+                }
+            }
+        }
+        // Final drain after flushing whatever remains.
+        let _ = port.flush(&mut ring);
+        seen.merge(ring.drain());
+        let _ = port.flush(&mut ring);
+        seen.merge(ring.drain());
+        prop_assert_eq!(seen, noted);
+    }
+
+    /// After every enqueue/reap interleaving, outstanding pins equal the
+    /// number of unreaped descriptors, and a full reap releases all pins.
+    #[test]
+    fn pins_track_outstanding_descriptors(
+        batches in prop::collection::vec(1usize..8, 1..10),
+    ) {
+        let mut mem = PhysMem::new(4096);
+        let mut rings = RingTable::new();
+        let mut engine = ProtectionEngine::new();
+        let guest = DomainId::guest(0);
+        let ctx = engine
+            .assign_context(guest, DmaPolicy::Validated, 256, &mut rings, &mut mem)
+            .unwrap();
+
+        let mut enqueued = 0u64;
+        let mut consumed = 0u64;
+        for batch in batches {
+            let reqs: Vec<TxRequest> = (0..batch)
+                .map(|_| {
+                    let page = mem.alloc(guest).unwrap();
+                    TxRequest {
+                        buf: BufferSlice::new(page.base_addr(), 1514),
+                        flags: DescFlags::END_OF_PACKET,
+                        meta: FrameMeta {
+                            dst: MacAddr::for_peer(0),
+                            src: MacAddr::for_context(0, ctx.0),
+                            tcp_payload: 1460,
+                            flow: FlowId::new(0, 0),
+                            seq: 0,
+                        },
+                    }
+                })
+                .collect();
+            // The NIC has consumed half of what's outstanding.
+            consumed += (enqueued - consumed) / 2;
+            engine
+                .enqueue_tx(ctx, guest, &reqs, consumed, &mut rings, &mut mem)
+                .unwrap();
+            enqueued += batch as u64;
+            prop_assert_eq!(
+                mem.outstanding_pins(),
+                enqueued - consumed,
+                "pins after enqueue"
+            );
+        }
+        // Everything completes.
+        engine.reap(ctx, enqueued, 0, &mut mem).unwrap();
+        prop_assert_eq!(mem.outstanding_pins(), 0);
+    }
+
+    /// Memory conservation: pages never appear or vanish across any mix
+    /// of allocation, free, transfer, pin and unpin.
+    #[test]
+    fn page_conservation(ops in prop::collection::vec((0u8..5, 0u16..4), 1..300)) {
+        let total = 64u32;
+        let mut mem = PhysMem::new(total);
+        let mut owned: Vec<cdna_mem::PageId> = Vec::new();
+        for (op, dom) in ops {
+            let dom = DomainId::guest(dom);
+            match op {
+                0 => {
+                    if let Ok(p) = mem.alloc(dom) {
+                        owned.push(p);
+                    }
+                }
+                1 => {
+                    if let Some(p) = owned.pop() {
+                        let owner = mem.info(p).unwrap().owner.unwrap();
+                        let _ = mem.free(owner, p);
+                    }
+                }
+                2 => {
+                    if let Some(&p) = owned.last() {
+                        let owner = mem.info(p).unwrap().owner.unwrap();
+                        let _ = mem.transfer(p, owner, dom);
+                    }
+                }
+                3 => {
+                    if let Some(&p) = owned.last() {
+                        mem.pin(p).unwrap();
+                    }
+                }
+                _ => {
+                    if let Some(&p) = owned.last() {
+                        let _ = mem.unpin(p);
+                    }
+                }
+            }
+            // Invariant: free + owned-by-someone == total.
+            let owned_count: u32 = (0..5u16)
+                .map(|g| mem.owned_by(DomainId::guest(g)))
+                .sum();
+            let pending = total - mem.free_pages() - owned_count;
+            prop_assert!(
+                pending <= owned.len() as u32,
+                "unaccounted pages: free={} owned={}",
+                mem.free_pages(),
+                owned_count
+            );
+        }
+    }
+}
+
+#[test]
+fn workload_balances_connections_exactly() {
+    use cdna_system::GuestWorkload;
+    let mut w = GuestWorkload::new(0, 7, 2);
+    for _ in 0..7 * 100 {
+        let u = w.next_tx();
+        w.commit_tx(u, 1460);
+    }
+    assert_eq!(w.tx_imbalance(), 0, "paper §5.1: balanced connections");
+}

@@ -1,0 +1,207 @@
+//! Figure 3/4 shape tests: CDNA holds line rate while its idle time
+//! decays to zero; Xen's aggregate bandwidth declines monotonically
+//! with diminishing marginal reduction.
+
+use cdna_core::DmaPolicy;
+use cdna_system::{run_experiment, Direction, IoModel, NicKind, TestbedConfig};
+
+fn sweep(io: IoModel, dir: Direction, guests: &[u16]) -> Vec<cdna_system::RunReport> {
+    guests
+        .iter()
+        .map(|&g| run_experiment(TestbedConfig::new(io, g, dir).quick()))
+        .collect()
+}
+
+#[test]
+fn fig3_cdna_transmit_holds_bandwidth_as_guests_scale() {
+    let reports = sweep(
+        IoModel::Cdna {
+            policy: DmaPolicy::Validated,
+        },
+        Direction::Transmit,
+        &[1, 2, 4, 8, 16, 24],
+    );
+    for r in &reports {
+        assert!(
+            (r.throughput_mbps - 1867.0).abs() < 40.0,
+            "CDNA TX sagged to {} at {} guests",
+            r.throughput_mbps,
+            r.guests
+        );
+        assert_eq!(r.protection_faults, 0);
+    }
+}
+
+#[test]
+fn fig3_cdna_idle_decreases_to_zero() {
+    let reports = sweep(
+        IoModel::Cdna {
+            policy: DmaPolicy::Validated,
+        },
+        Direction::Transmit,
+        &[1, 2, 4, 8],
+    );
+    let idles: Vec<f64> = reports.iter().map(|r| r.idle_pct()).collect();
+    assert!(idles[0] > 45.0, "1-guest idle {}", idles[0]);
+    for w in idles.windows(2) {
+        assert!(w[1] <= w[0] + 0.5, "idle not decreasing: {idles:?}");
+    }
+    assert!(idles[3] < 3.0, "8-guest idle {}", idles[3]);
+}
+
+#[test]
+fn fig3_xen_transmit_declines_with_diminishing_marginal_reduction() {
+    let reports = sweep(
+        IoModel::XenBridged {
+            nic: NicKind::Intel,
+        },
+        Direction::Transmit,
+        &[1, 4, 12, 24],
+    );
+    let t: Vec<f64> = reports.iter().map(|r| r.throughput_mbps).collect();
+    for w in t.windows(2) {
+        assert!(w[1] < w[0], "Xen TX must decline: {t:?}");
+    }
+    // Still above 500 Mb/s at 24 guests (paper: 891).
+    assert!(t[3] > 500.0, "Xen collapsed to {}", t[3]);
+}
+
+#[test]
+fn fig3_cdna_beats_xen_by_about_2x_at_24_guests() {
+    let xen = run_experiment(
+        TestbedConfig::new(
+            IoModel::XenBridged {
+                nic: NicKind::Intel,
+            },
+            24,
+            Direction::Transmit,
+        )
+        .quick(),
+    );
+    let cdna = run_experiment(
+        TestbedConfig::new(
+            IoModel::Cdna {
+                policy: DmaPolicy::Validated,
+            },
+            24,
+            Direction::Transmit,
+        )
+        .quick(),
+    );
+    let factor = cdna.throughput_mbps / xen.throughput_mbps;
+    assert!(
+        (1.7..3.4).contains(&factor),
+        "TX factor {factor:.2} (paper: 2.1)"
+    );
+}
+
+#[test]
+fn fig4_cdna_receive_holds_bandwidth_as_guests_scale() {
+    let reports = sweep(
+        IoModel::Cdna {
+            policy: DmaPolicy::Validated,
+        },
+        Direction::Receive,
+        &[1, 2, 8, 24],
+    );
+    for r in &reports {
+        assert!(
+            (r.throughput_mbps - 1874.0).abs() < 40.0,
+            "CDNA RX sagged to {} at {} guests",
+            r.throughput_mbps,
+            r.guests
+        );
+    }
+}
+
+#[test]
+fn fig4_xen_receive_declines_and_cdna_beats_it_by_2_to_3x() {
+    let xen1 = run_experiment(
+        TestbedConfig::new(
+            IoModel::XenBridged {
+                nic: NicKind::Intel,
+            },
+            1,
+            Direction::Receive,
+        )
+        .quick(),
+    );
+    let xen24 = run_experiment(
+        TestbedConfig::new(
+            IoModel::XenBridged {
+                nic: NicKind::Intel,
+            },
+            24,
+            Direction::Receive,
+        )
+        .quick(),
+    );
+    let cdna24 = run_experiment(
+        TestbedConfig::new(
+            IoModel::Cdna {
+                policy: DmaPolicy::Validated,
+            },
+            24,
+            Direction::Receive,
+        )
+        .quick(),
+    );
+    assert!(xen24.throughput_mbps < xen1.throughput_mbps);
+    let factor = cdna24.throughput_mbps / xen24.throughput_mbps;
+    assert!(
+        (2.0..4.0).contains(&factor),
+        "RX factor {factor:.2} (paper: 3.3)"
+    );
+}
+
+#[test]
+fn bandwidth_is_shared_fairly_at_every_scale() {
+    // Paper §5.1: the benchmark "balances the bandwidth across all
+    // connections to ensure fairness"; with the NIC's fair round-robin
+    // service every guest should see an equal share.
+    for guests in [2u16, 8, 16] {
+        let r = run_experiment(
+            TestbedConfig::new(
+                IoModel::Cdna {
+                    policy: DmaPolicy::Validated,
+                },
+                guests,
+                Direction::Transmit,
+            )
+            .quick(),
+        );
+        assert!(
+            r.fairness_index() > 0.98,
+            "{guests} guests: Jain index {:.3}, shares {:?}",
+            r.fairness_index(),
+            r.per_guest_mbps
+        );
+    }
+}
+
+#[test]
+fn xen_receive_drops_frames_under_overload_cdna_does_not_at_low_load() {
+    let xen = run_experiment(
+        TestbedConfig::new(
+            IoModel::XenBridged {
+                nic: NicKind::Intel,
+            },
+            1,
+            Direction::Receive,
+        )
+        .quick(),
+    );
+    // The peer offers 2 NICs of line rate; CPU-bound Xen must shed load.
+    assert!(xen.rx_dropped > 0, "Xen RX under overload should drop");
+    let cdna = run_experiment(
+        TestbedConfig::new(
+            IoModel::Cdna {
+                policy: DmaPolicy::Validated,
+            },
+            1,
+            Direction::Receive,
+        )
+        .quick(),
+    );
+    assert_eq!(cdna.rx_dropped, 0, "CDNA keeps up with line rate");
+}

@@ -16,18 +16,16 @@ use cdna_system::{run_experiment, RunReport, TestbedConfig};
 /// single-threaded and deterministic; the sweep parallelism only affects
 /// wall-clock time, never results). Reports come back in input order.
 pub fn run_parallel(configs: Vec<TestbedConfig>) -> Vec<RunReport> {
-    let mut out: Vec<Option<RunReport>> = configs.iter().map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = configs
             .into_iter()
-            .map(|cfg| scope.spawn(move |_| run_experiment(cfg)))
+            .map(|cfg| scope.spawn(move || run_experiment(cfg)))
             .collect();
-        for (slot, h) in out.iter_mut().zip(handles) {
-            *slot = Some(h.join().expect("experiment thread panicked"));
-        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment thread panicked"))
+            .collect()
     })
-    .expect("scope");
-    out.into_iter().map(|r| r.expect("filled")).collect()
 }
 
 /// Runs one configuration and prints its table row.

@@ -7,8 +7,6 @@
 //! interrupt. The hypervisor's interrupt service routine drains all
 //! pending vectors and posts virtual interrupts to each flagged guest.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{ContextId, CTX_COUNT};
 
 /// A set of contexts with pending updates, one bit per context.
@@ -23,9 +21,7 @@ use crate::{ContextId, CTX_COUNT};
 /// v.set(ContextId(17));
 /// assert_eq!(v.iter().collect::<Vec<_>>(), vec![ContextId(3), ContextId(17)]);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize, PartialOrd, Ord,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub struct InterruptBitVector(pub u32);
 
 impl InterruptBitVector {
@@ -77,7 +73,7 @@ impl InterruptBitVector {
 /// producer/consumer protocol guarantees vectors are processed before
 /// being overwritten — when the ring is full the NIC holds the vector
 /// and merges further updates into it (see [`VectorPort`]).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BitVectorRing {
     slots: Vec<InterruptBitVector>,
     produced: u64,
@@ -163,7 +159,7 @@ impl BitVectorRing {
 /// interrupt should be raised. If the ring is full the vector stays
 /// accumulated and is merged with future updates — no update is ever
 /// lost, matching the protocol's intent.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct VectorPort {
     pending: InterruptBitVector,
 }

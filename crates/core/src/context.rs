@@ -4,7 +4,6 @@ use std::fmt;
 
 use cdna_mem::DomainId;
 use cdna_nic::RingId;
-use serde::{Deserialize, Serialize};
 
 use crate::DmaPolicy;
 
@@ -12,9 +11,7 @@ use crate::DmaPolicy;
 pub const CTX_COUNT: usize = 32;
 
 /// Identifies one of the NIC's hardware contexts.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ContextId(pub u8);
 
 impl ContextId {
@@ -35,7 +32,7 @@ impl fmt::Display for ContextId {
 }
 
 /// Errors from context management.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ContextError {
     /// All non-privileged contexts are assigned.
     Exhausted,
@@ -68,7 +65,7 @@ impl fmt::Display for ContextError {
 impl std::error::Error for ContextError {}
 
 /// Assignment record for one context.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ContextState {
     /// The domain the context's mailbox partition is mapped into.
     pub owner: DomainId,
@@ -104,7 +101,7 @@ pub struct ContextState {
 /// table.revoke(ctx).unwrap();
 /// assert!(table.owner_of(ctx).is_none());
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ContextTable {
     slots: Vec<Option<ContextState>>,
 }

@@ -3,12 +3,11 @@
 use std::fmt;
 
 use cdna_mem::PageId;
-use serde::{Deserialize, Serialize};
 
 use crate::ContextId;
 
 /// Why the NIC refused to use a descriptor.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
     /// A descriptor's sequence number was not the expected successor —
     /// the driver replayed a stale descriptor or overran the producer
@@ -57,7 +56,7 @@ impl fmt::Display for FaultKind {
 /// Faults are reported to the hypervisor through the privileged context;
 /// other guests' traffic is unaffected — the fault isolates exactly one
 /// context.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProtectionFault {
     /// The context whose descriptor stream faulted.
     pub ctx: ContextId,

@@ -17,10 +17,9 @@ use std::fmt;
 
 use cdna_mem::{BufferSlice, PhysAddr};
 use cdna_nic::{DescFlags, DmaDescriptor};
-use serde::{Deserialize, Serialize};
 
 /// Errors validating or using a descriptor format.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FormatError {
     /// A field extends past the descriptor's declared size.
     FieldOutOfBounds {
@@ -80,7 +79,7 @@ impl std::error::Error for FormatError {}
 /// fmt.validate().unwrap();
 /// assert_eq!(fmt.size, 24);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DescriptorFormat {
     /// Total descriptor size in bytes.
     pub size: u32,

@@ -17,12 +17,11 @@
 use std::collections::HashSet;
 
 use cdna_mem::{BufferSlice, PageId};
-use serde::{Deserialize, Serialize};
 
 use crate::{ContextId, CTX_COUNT};
 
 /// A DMA attempted outside the context's mapped pages.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IommuViolation {
     /// The offending context.
     pub ctx: ContextId,
@@ -43,7 +42,7 @@ impl std::fmt::Display for IommuViolation {
 impl std::error::Error for IommuViolation {}
 
 /// Lifetime counters for reports.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IommuStats {
     /// Pages mapped.
     pub maps: u64,

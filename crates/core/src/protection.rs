@@ -20,13 +20,12 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use cdna_mem::{BufferSlice, DomainId, MemError, PhysMem};
-use cdna_nic::{DescFlags, DmaDescriptor, FrameMeta, RingId, RingTable};
-use serde::{Deserialize, Serialize};
+use cdna_nic::{DescFlags, DmaDescriptor, FrameMeta, RingTable};
 
 use crate::{ContextError, ContextId, ContextState, ContextTable, SeqStamper};
 
 /// How DMA addresses from a guest are kept honest.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DmaPolicy {
     /// CDNA software protection: hypervisor validates, pins, stamps, and
     /// enqueues every descriptor (the paper's main design).
@@ -43,7 +42,7 @@ pub enum DmaPolicy {
 
 /// A guest's request to transmit the packet described by `meta` from
 /// `buf`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TxRequest {
     /// The buffer holding the (already formatted) frame.
     pub buf: BufferSlice,
@@ -54,14 +53,14 @@ pub struct TxRequest {
 }
 
 /// A guest's request to post `buf` for packet reception.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RxRequest {
     /// The empty buffer to fill.
     pub buf: BufferSlice,
 }
 
 /// Result of a successful enqueue hypercall.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EnqueueOutcome {
     /// The ring's new producer index — the value the guest driver now
     /// writes into its context's producer mailbox.
@@ -76,7 +75,7 @@ pub struct EnqueueOutcome {
 
 /// Errors from protection operations. No descriptors are enqueued when
 /// an error is returned (validation happens before any side effects).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProtectionError {
     /// Context lookup/ownership failure.
     Context(ContextError),
@@ -125,7 +124,7 @@ impl From<MemError> for ProtectionError {
 }
 
 /// Lifetime counters for reports.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProtectionStats {
     /// Descriptors validated and enqueued.
     pub descriptors_enqueued: u64,
@@ -137,9 +136,8 @@ pub struct ProtectionStats {
     pub hypercalls: u64,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Direction {
-    ring: RingId,
     stamper: SeqStamper,
     producer: u64,
     /// Buffers pinned per outstanding descriptor, in ring order.
@@ -148,9 +146,8 @@ struct Direction {
 }
 
 impl Direction {
-    fn new(ring: RingId, seq_modulus: u32) -> Self {
+    fn new(seq_modulus: u32) -> Self {
         Direction {
-            ring,
             stamper: SeqStamper::new(seq_modulus),
             producer: 0,
             pinned: VecDeque::new(),
@@ -173,7 +170,7 @@ impl Direction {
     }
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct CtxProtection {
     tx: Direction,
     rx: Direction,
@@ -218,7 +215,7 @@ struct CtxProtection {
 /// assert_eq!(out.producer, 1);
 /// assert_eq!(mem.info(page).unwrap().pins, 1);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct ProtectionEngine {
     table: ContextTable,
     ctxs: Vec<Option<CtxProtection>>,
@@ -277,8 +274,8 @@ impl ProtectionEngine {
         let ctx = self.table.assign(owner, tx_ring, rx_ring, policy)?;
         let seq_modulus = (ring_size * 2).max(4);
         self.ctxs[ctx.0 as usize] = Some(CtxProtection {
-            tx: Direction::new(tx_ring, seq_modulus),
-            rx: Direction::new(rx_ring, seq_modulus),
+            tx: Direction::new(seq_modulus),
+            rx: Direction::new(seq_modulus),
         });
         Ok(ctx)
     }

@@ -8,8 +8,6 @@
 //! number is exactly `ring_size` behind — detectably wrong as long as the
 //! sequence space is at least twice the ring size.
 
-use serde::{Deserialize, Serialize};
-
 use crate::fault::FaultKind;
 
 /// Hypervisor-side stamper producing the strictly increasing sequence.
@@ -26,7 +24,7 @@ use crate::fault::FaultKind;
 ///     assert!(checker.check(stamper.next()).is_ok());
 /// }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SeqStamper {
     next: u32,
     modulus: u32,
@@ -71,7 +69,7 @@ impl SeqStamper {
 }
 
 /// NIC-side verifier of sequence continuity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SeqChecker {
     expected: u32,
     modulus: u32,

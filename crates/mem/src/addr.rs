@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Size of a physical page in bytes (x86: 4 KB).
 pub const PAGE_SIZE: u64 = 4096;
 
@@ -12,9 +10,7 @@ pub const PAGE_SIZE: u64 = 4096;
 /// By convention in this reproduction: id 0 is the driver domain (dom0),
 /// ids 1.. are guests. The hypervisor itself is represented by
 /// [`DomainId::HYPERVISOR`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct DomainId(pub u16);
 
 impl DomainId {
@@ -49,9 +45,7 @@ impl fmt::Display for DomainId {
 }
 
 /// Index of a physical page within the machine's page pool.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PageId(pub u32);
 
 impl PageId {
@@ -72,9 +66,7 @@ impl PageId {
 /// assert_eq!(a.page(), PageId(3));
 /// assert_eq!(a.page_offset(), 100);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct PhysAddr(pub u64);
 
 impl PhysAddr {

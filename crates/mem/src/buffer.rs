@@ -1,7 +1,5 @@
 //! Contiguous physical buffer slices.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{PageId, PhysAddr};
 
 /// A physically contiguous byte range, the unit a DMA descriptor points
@@ -21,7 +19,7 @@ use crate::{PageId, PhysAddr};
 /// let pages: Vec<PageId> = s.pages().collect();
 /// assert_eq!(pages, vec![PageId(0), PageId(1)]);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BufferSlice {
     /// First byte of the buffer.
     pub addr: PhysAddr,

@@ -3,12 +3,10 @@
 use std::collections::VecDeque;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{BufferSlice, DomainId, PageId};
 
 /// Errors from page-pool operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemError {
     /// No free pages remain.
     OutOfMemory,
@@ -51,7 +49,7 @@ impl fmt::Display for MemError {
 impl std::error::Error for MemError {}
 
 /// Per-page state visible to callers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PageInfo {
     /// Current owner, or `None` if the page is free.
     pub owner: Option<DomainId>,
@@ -79,7 +77,7 @@ pub struct PageInfo {
 /// assert_eq!(mem.free_pages(), 1024);
 /// # Ok::<(), cdna_mem::MemError>(())
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PhysMem {
     pages: Vec<PageInfo>,
     free_list: VecDeque<PageId>,

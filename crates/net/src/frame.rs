@@ -1,16 +1,13 @@
 //! The unit of traffic crossing the simulated wire.
 
-use bytes::Bytes;
-use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 use crate::framing;
 use crate::MacAddr;
 
 /// Identifies a logical connection (guest, connection index) so the
 /// workload generator can attribute delivered bytes to streams.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct FlowId {
     /// The guest domain index the flow belongs to (0-based).
     pub guest: u16,
@@ -30,7 +27,8 @@ impl FlowId {
 /// Frames carry sizes and flow metadata rather than full byte images —
 /// the simulation moves hundreds of thousands of frames per simulated
 /// second, and the experiments only need counts — but an optional
-/// [`Bytes`] payload is supported for the data-integrity tests.
+/// shared `Arc<[u8]>` payload is supported for the data-integrity
+/// tests.
 ///
 /// # Example
 ///
@@ -61,8 +59,9 @@ pub struct Frame {
     pub flow: FlowId,
     /// Per-flow sequence counter, for ordering/integrity checks.
     pub seq: u64,
-    /// Optional literal payload used by integrity tests.
-    pub body: Option<Bytes>,
+    /// Optional literal payload used by integrity tests. `Arc` keeps
+    /// clones cheap as the frame is copied across rings and queues.
+    pub body: Option<Arc<[u8]>>,
 }
 
 impl Frame {
@@ -84,7 +83,8 @@ impl Frame {
     /// # Panics
     ///
     /// Panics if `body.len()` disagrees with the frame's `tcp_payload`.
-    pub fn with_body(mut self, body: Bytes) -> Self {
+    pub fn with_body(mut self, body: impl Into<Arc<[u8]>>) -> Self {
+        let body = body.into();
         assert_eq!(
             body.len() as u32,
             self.tcp_payload,
@@ -139,7 +139,7 @@ mod tests {
 
     #[test]
     fn body_round_trip() {
-        let body = Bytes::from(vec![0xAB; 100]);
+        let body: Arc<[u8]> = vec![0xAB; 100].into();
         let f = frame(100).with_body(body.clone());
         assert_eq!(f.body.as_ref().unwrap(), &body);
     }
@@ -147,6 +147,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "body length must match")]
     fn mismatched_body_panics() {
-        let _ = frame(100).with_body(Bytes::from_static(b"short"));
+        let _ = frame(100).with_body(&b"short"[..]);
     }
 }

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A 48-bit Ethernet MAC address.
 ///
 /// CDNA associates one unique MAC with each hardware context so the NIC
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(mac.is_locally_administered());
 /// assert_eq!(mac.to_string(), "02:cd:aa:00:00:03");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MacAddr(pub [u8; 6]);
 
 impl MacAddr {

@@ -1,11 +1,10 @@
 //! Shared PCI bus model for DMA transfers.
 
 use cdna_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// A completed PCI transfer: when it started moving data and when it
 /// finished.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PciTransfer {
     /// When the transfer gained the bus.
     pub start: SimTime,
@@ -31,7 +30,7 @@ pub struct PciTransfer {
 /// let t = bus.dma(SimTime::ZERO, 1514);
 /// assert!(t.done > t.start);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PciBus {
     /// Sustained bandwidth in bytes per second.
     bytes_per_sec: u64,

@@ -1,11 +1,10 @@
 //! Full-duplex gigabit link model.
 
 use cdna_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Direction of travel on a [`GigabitWire`], from the host NIC's point of
 /// view.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WireDirection {
     /// Host NIC → peer.
     Transmit,
@@ -38,7 +37,7 @@ pub enum WireDirection {
 /// let rx = wire.transfer(t0, WireDirection::Receive, 1538);
 /// assert_eq!(rx.as_ns(), 12_304);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct GigabitWire {
     tx_busy_until: SimTime,
     rx_busy_until: SimTime,

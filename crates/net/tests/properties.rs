@@ -1,70 +1,100 @@
-//! Property-based tests of the wire, bus, and framing models.
+//! Property-style tests of the wire, bus, and framing models.
+//!
+//! The repo builds with zero external dependencies, so instead of a
+//! property-testing framework these drive each invariant over many
+//! seeded pseudo-random cases plus the interesting edges.
 
 use cdna_net::{framing, GigabitWire, PciBus, WireDirection};
-use cdna_sim::SimTime;
-use proptest::prelude::*;
+use cdna_sim::{SimRng, SimTime};
 
-proptest! {
-    /// The wire never reorders and never exceeds 1 Gb/s in either
-    /// direction, for any arrival pattern.
-    #[test]
-    fn wire_is_fifo_and_rate_limited(
-        arrivals in prop::collection::vec((0u64..10_000, 64u32..1600), 1..100),
-    ) {
-        let mut wire = GigabitWire::new();
-        let mut arrivals = arrivals;
+const CASES: u64 = 200;
+
+/// The wire never reorders and never exceeds 1 Gb/s in either
+/// direction, for any arrival pattern.
+#[test]
+fn wire_is_fifo_and_rate_limited() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(0x57a7_0001 ^ case);
+        let n = rng.range_u64(1..100) as usize;
+        let mut arrivals: Vec<(u64, u32)> = (0..n)
+            .map(|_| (rng.range_u64(0..10_000), rng.range_u64(64..1600) as u32))
+            .collect();
         arrivals.sort_by_key(|&(t, _)| t);
+
+        let mut wire = GigabitWire::new();
         let mut last_done = SimTime::ZERO;
         let mut total_bytes = 0u64;
         for &(t, bytes) in &arrivals {
             let done = wire.transfer(SimTime::from_ns(t), WireDirection::Transmit, bytes);
-            prop_assert!(done >= last_done, "wire reordered frames");
+            assert!(done >= last_done, "wire reordered frames (case {case})");
             // A frame takes at least its serialization time.
-            prop_assert!(done.as_ns() >= t + bytes as u64 * 8);
+            assert!(done.as_ns() >= t + bytes as u64 * 8);
             last_done = done;
             total_bytes += bytes as u64;
         }
         // Aggregate rate bound: total time >= total serialization time.
         let first = arrivals[0].0;
-        prop_assert!(last_done.as_ns() - first >= total_bytes * 8);
+        assert!(last_done.as_ns() - first >= total_bytes * 8);
     }
+}
 
-    /// Bus transfers serialize: completion times are strictly increasing
-    /// and bandwidth is respected.
-    #[test]
-    fn bus_serializes_transfers(
-        sizes in prop::collection::vec(1u32..100_000, 1..50),
-    ) {
+/// Bus transfers serialize: completion times are strictly increasing
+/// and bandwidth is respected.
+#[test]
+fn bus_serializes_transfers() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(0xB05 ^ case);
+        let n = rng.range_u64(1..50) as usize;
+        let sizes: Vec<u32> = (0..n).map(|_| rng.range_u64(1..100_000) as u32).collect();
+
         let mut bus = PciBus::with_rate(422_000_000, SimTime::from_ns(120));
         let mut last = SimTime::ZERO;
         for &s in &sizes {
             let t = bus.dma(SimTime::ZERO, s);
-            prop_assert!(t.start >= last);
-            prop_assert!(t.done > t.start);
+            assert!(t.start >= last, "bus overlapped transfers (case {case})");
+            assert!(t.done > t.start);
             last = t.done;
         }
-        prop_assert_eq!(bus.transfers(), sizes.len() as u64);
+        assert_eq!(bus.transfers(), sizes.len() as u64);
     }
+}
 
-    /// Segmentation covers every byte with only the tail short.
-    #[test]
-    fn segmentation_total_is_exact(total in 0u64..1_000_000) {
+/// Segmentation covers every byte with only the tail short.
+#[test]
+fn segmentation_total_is_exact() {
+    let mut rng = SimRng::seed_from(0x5E6);
+    let mut totals: Vec<u64> = (0..CASES).map(|_| rng.range_u64(0..1_000_000)).collect();
+    totals.extend([
+        0,
+        1,
+        framing::MSS as u64 - 1,
+        framing::MSS as u64,
+        framing::MSS as u64 + 1,
+    ]);
+    for total in totals {
         let segs = framing::segment_tcp_payload(total);
-        prop_assert_eq!(segs.iter().map(|&s| s as u64).sum::<u64>(), total);
+        assert_eq!(segs.iter().map(|&s| s as u64).sum::<u64>(), total);
         for &s in segs.iter().rev().skip(1) {
-            prop_assert_eq!(s, framing::MSS);
+            assert_eq!(s, framing::MSS, "only the last segment may be short");
         }
         if let Some(&last) = segs.last() {
-            prop_assert!((1..=framing::MSS).contains(&last));
+            assert!((1..=framing::MSS).contains(&last));
         }
     }
+}
 
-    /// Wire-byte accounting is monotone in payload and respects the
-    /// Ethernet minimum.
-    #[test]
-    fn wire_bytes_monotone(a in 0u32..3000, b in 0u32..3000) {
+/// Wire-byte accounting is monotone in payload and respects the
+/// Ethernet minimum.
+#[test]
+fn wire_bytes_monotone() {
+    let mut rng = SimRng::seed_from(0xE74);
+    for _ in 0..CASES {
+        let a = rng.range_u64(0..3000) as u32;
+        let b = rng.range_u64(0..3000) as u32;
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(framing::wire_bytes(lo) <= framing::wire_bytes(hi));
-        prop_assert!(framing::wire_bytes(lo) >= framing::MIN_ETH_PAYLOAD + framing::PER_FRAME_WIRE_OVERHEAD);
+        assert!(framing::wire_bytes(lo) <= framing::wire_bytes(hi));
+        assert!(
+            framing::wire_bytes(lo) >= framing::MIN_ETH_PAYLOAD + framing::PER_FRAME_WIRE_OVERHEAD
+        );
     }
 }

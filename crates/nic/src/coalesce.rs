@@ -1,7 +1,6 @@
 //! Interrupt moderation.
 
 use cdna_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// An interrupt coalescer enforcing a minimum gap between interrupts.
 ///
@@ -27,7 +26,7 @@ use serde::{Deserialize, Serialize};
 /// // ...and further requests coalesce into the pending one.
 /// assert_eq!(c.request(SimTime::from_us(60)), None);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Coalescer {
     min_gap: SimTime,
     last_fire: Option<SimTime>,

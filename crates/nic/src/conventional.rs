@@ -12,12 +12,11 @@ use std::collections::VecDeque;
 use cdna_mem::BufferSlice;
 use cdna_net::{framing, Frame, MacAddr, PciBus};
 use cdna_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 use crate::{Coalescer, DescFlags, DmaDescriptor, RingError, RingId, RingTable};
 
 /// Static configuration of a conventional NIC.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NicConfig {
     /// Whether the device segments TSO super-buffers itself.
     pub tso: bool,
@@ -73,7 +72,7 @@ impl NicConfig {
 }
 
 /// Why a physical interrupt was raised.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IrqReason {
     /// Transmit completions are pending.
     Tx,
@@ -126,14 +125,14 @@ pub struct TxActivity {
     pub irq_at: Option<SimTime>,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct InflightDesc {
     idx: u64,
     frames_left: u32,
 }
 
 /// Running counters for reports.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NicStats {
     /// Frames transmitted onto the wire.
     pub tx_frames: u64,

@@ -2,7 +2,6 @@
 
 use cdna_mem::BufferSlice;
 use cdna_net::{FlowId, MacAddr};
-use serde::{Deserialize, Serialize};
 
 /// Descriptor flag bits.
 ///
@@ -20,9 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(f.contains(DescFlags::TSO));
 /// assert!(!f.contains(DescFlags::INSERT_CHECKSUM));
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize, PartialOrd, Ord,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub struct DescFlags(pub u16);
 
 impl DescFlags {
@@ -55,7 +52,7 @@ impl std::ops::BitOr for DescFlags {
 /// materializing byte images (the experiments only need counts). The
 /// buffer *address* is still real — protection validates it against the
 /// page pool.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FrameMeta {
     /// Destination MAC of the (first) frame in this buffer.
     pub dst: MacAddr,
@@ -75,7 +72,7 @@ pub struct FrameMeta {
 ///
 /// Transmit descriptors carry [`FrameMeta`]; receive descriptors post an
 /// empty buffer and have `meta == None`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DmaDescriptor {
     /// The host buffer to read (TX) or fill (RX).
     pub buf: BufferSlice,

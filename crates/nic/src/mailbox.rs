@@ -1,7 +1,5 @@
 //! PIO-visible mailbox words.
 
-use serde::{Deserialize, Serialize};
-
 /// Number of mailbox words per context (paper §4: "the lowest 24 memory
 /// locations are mailboxes").
 pub const MAILBOXES_PER_CONTEXT: usize = 24;
@@ -23,7 +21,7 @@ pub const MAILBOXES_PER_CONTEXT: usize = 24;
 /// assert_eq!(mb.read(0), Some(42));
 /// assert_eq!(mb.read(99), None);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MailboxPage {
     words: [u64; MAILBOXES_PER_CONTEXT],
     writes: u64,

@@ -3,18 +3,15 @@
 use std::fmt;
 
 use cdna_mem::{PhysAddr, PAGE_SIZE};
-use serde::{Deserialize, Serialize};
 
 use crate::DmaDescriptor;
 
 /// Handle to a ring in the machine's [`RingTable`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct RingId(pub u32);
 
 /// Errors from ring operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RingError {
     /// The ring id does not exist.
     NoSuchRing(RingId),
@@ -62,7 +59,7 @@ impl std::error::Error for RingError {}
 /// // Index 4 aliases slot 0 in a 4-entry ring:
 /// assert_eq!(ring.read_at(4).unwrap(), ring.read_at(0).unwrap());
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DescRing {
     base: PhysAddr,
     size: u32,
@@ -133,11 +130,16 @@ impl DescRing {
     pub fn writes(&self) -> u64 {
         self.writes
     }
+
+    /// Lifetime count of descriptor reads.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
 }
 
 /// All descriptor rings in the machine, owned centrally so drivers and
 /// NIC models can both reach them through ids without shared ownership.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RingTable {
     rings: Vec<DescRing>,
 }

@@ -2,7 +2,6 @@
 
 use cdna_core::DescriptorFormat;
 use cdna_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Tunable parameters of the CDNA firmware running on the RiceNIC.
 ///
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// and buffer management (the paper notes a single embedded processor
 /// saturates the link), and the interrupt coalescing intervals reproduce
 /// the CDNA interrupt rates (13.7k/s TX, 7.4k/s RX across two NICs).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RiceNicConfig {
     /// Firmware time to process one transmit frame (descriptor decode,
     /// seqnum check, buffer management, DMA kickoff).

@@ -13,12 +13,11 @@ use cdna_nic::{
     Coalescer, DmaDescriptor, IrqReason, MailboxPage, RingError, RingId, RingTable, TxEmission,
 };
 use cdna_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 use crate::{MailboxEventUnit, RiceNicConfig};
 
 /// Errors from device operations (driver/hypervisor programming bugs).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DeviceError {
     /// The context is not attached on the device.
     Unattached(ContextId),
@@ -82,8 +81,20 @@ impl Activity {
     }
 }
 
+/// Lifetime per-context counters exported into the metric registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ContextCounters {
+    /// Transmit descriptors completed (DMA written back).
+    pub tx_descriptors: u64,
+    /// Receive descriptors consumed by deliveries.
+    pub rx_descriptors: u64,
+    /// Sequence numbers verified on this context (TX + RX), when
+    /// sequence checking is enabled.
+    pub seq_checks: u64,
+}
+
 /// Running counters for reports.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RiceNicStats {
     /// Frames transmitted.
     pub tx_frames: u64,
@@ -308,6 +319,16 @@ impl RiceNic {
             .as_ref()
             .map(|c| c.rx_used)
             .unwrap_or(0)
+    }
+
+    /// Lifetime per-context counters for metric export, or `None` if
+    /// `ctx` is not attached.
+    pub fn context_counters(&self, ctx: ContextId) -> Option<ContextCounters> {
+        self.ctxs[ctx.0 as usize].as_ref().map(|c| ContextCounters {
+            tx_descriptors: c.tx_completed,
+            rx_descriptors: c.rx_used,
+            seq_checks: c.seq_tx.checked() + c.seq_rx.checked(),
+        })
     }
 
     /// Receive buffers still posted for `ctx`.

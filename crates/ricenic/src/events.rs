@@ -9,7 +9,6 @@
 
 use cdna_core::{ContextId, CTX_COUNT};
 use cdna_nic::MAILBOXES_PER_CONTEXT;
-use serde::{Deserialize, Serialize};
 
 /// The snooping event unit's scratchpad state.
 ///
@@ -27,7 +26,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(unit.pop_event(), Some((ContextId(5), 0)));
 /// assert_eq!(unit.pop_event(), None);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct MailboxEventUnit {
     /// First level: which contexts have pending events.
     ctx_vector: u32,

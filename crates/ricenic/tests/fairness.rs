@@ -227,18 +227,28 @@ fn backlogged_context_does_not_starve_a_light_one() {
 }
 
 mod event_unit_properties {
+    //! Property-style checks of the mailbox event unit, driven over many
+    //! seeded pseudo-random write patterns (no external property-testing
+    //! framework — the repo builds with zero external dependencies).
+
     use cdna_core::ContextId;
     use cdna_ricenic::MailboxEventUnit;
-    use proptest::prelude::*;
+    use cdna_sim::SimRng;
 
-    proptest! {
-        /// The two-level hierarchy delivers exactly the set of distinct
-        /// (context, mailbox) pairs written, regardless of write order
-        /// or duplication.
-        #[test]
-        fn hierarchy_delivers_exactly_the_written_set(
-            writes in prop::collection::vec((0u8..32, 0usize..24), 0..300),
-        ) {
+    const CASES: u64 = 200;
+
+    /// The two-level hierarchy delivers exactly the set of distinct
+    /// (context, mailbox) pairs written, regardless of write order
+    /// or duplication.
+    #[test]
+    fn hierarchy_delivers_exactly_the_written_set() {
+        for case in 0..CASES {
+            let mut rng = SimRng::seed_from(0xB17 ^ case);
+            let n = rng.range_u64(0..300) as usize;
+            let writes: Vec<(u8, usize)> = (0..n)
+                .map(|_| (rng.range_u64(0..32) as u8, rng.range_u64(0..24) as usize))
+                .collect();
+
             let mut unit = MailboxEventUnit::new();
             let mut expected = std::collections::BTreeSet::new();
             for &(ctx, mb) in &writes {
@@ -247,18 +257,24 @@ mod event_unit_properties {
             }
             let mut got = std::collections::BTreeSet::new();
             while let Some((ctx, mb)) = unit.pop_event() {
-                prop_assert!(got.insert((ctx.0, mb)), "duplicate event");
+                assert!(got.insert((ctx.0, mb)), "duplicate event (case {case})");
             }
-            prop_assert_eq!(got, expected);
-            prop_assert!(!unit.has_events());
+            assert_eq!(got, expected);
+            assert!(!unit.has_events());
         }
+    }
 
-        /// clear_context removes exactly one context's events.
-        #[test]
-        fn clear_context_is_surgical(
-            writes in prop::collection::vec((0u8..8, 0usize..24), 1..100),
-            victim in 0u8..8,
-        ) {
+    /// clear_context removes exactly one context's events.
+    #[test]
+    fn clear_context_is_surgical() {
+        for case in 0..CASES {
+            let mut rng = SimRng::seed_from(0x5169 ^ case);
+            let n = rng.range_u64(1..100) as usize;
+            let writes: Vec<(u8, usize)> = (0..n)
+                .map(|_| (rng.range_u64(0..8) as u8, rng.range_u64(0..24) as usize))
+                .collect();
+            let victim = rng.range_u64(0..8) as u8;
+
             let mut unit = MailboxEventUnit::new();
             let mut expected = std::collections::BTreeSet::new();
             for &(ctx, mb) in &writes {
@@ -272,7 +288,7 @@ mod event_unit_properties {
             while let Some((ctx, mb)) = unit.pop_event() {
                 got.insert((ctx.0, mb));
             }
-            prop_assert_eq!(got, expected);
+            assert_eq!(got, expected);
         }
     }
 }

@@ -3,6 +3,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use cdna_trace::Tracer;
+
 use crate::SimTime;
 
 /// A model that reacts to events.
@@ -51,6 +53,10 @@ pub struct Scheduler<E> {
     queue: BinaryHeap<Reverse<Queued<E>>>,
     next_seq: u64,
     scheduled: u64,
+    /// Optional event tracer, carried here so event handlers (which
+    /// receive the scheduler anyway) can emit spans without threading
+    /// another parameter through every call.
+    tracer: Option<Tracer>,
 }
 
 impl<E> Scheduler<E> {
@@ -59,7 +65,16 @@ impl<E> Scheduler<E> {
             queue: BinaryHeap::new(),
             next_seq: 0,
             scheduled: 0,
+            tracer: None,
         }
+    }
+
+    /// The attached tracer, if tracing is enabled. Handlers emitting
+    /// events should use `if let Some(t) = sched.tracer_mut()` so a
+    /// disabled tracer costs one branch and nothing else.
+    #[inline]
+    pub fn tracer_mut(&mut self) -> Option<&mut Tracer> {
+        self.tracer.as_mut()
     }
 
     /// Schedules `event` at absolute time `at`.
@@ -146,6 +161,22 @@ impl<W: World> Simulation<W> {
     /// Number of events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.processed
+    }
+
+    /// Attaches an event tracer; subsequent handler invocations can
+    /// record into it via [`Scheduler::tracer_mut`].
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.sched.tracer = Some(tracer);
+    }
+
+    /// Detaches and returns the tracer, if one was attached.
+    pub fn take_tracer(&mut self) -> Option<Tracer> {
+        self.sched.tracer.take()
+    }
+
+    /// Read access to the attached tracer.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.sched.tracer.as_ref()
     }
 
     /// Schedules an event at absolute time `at` (≥ the current time).
@@ -298,6 +329,27 @@ mod tests {
         assert_eq!(n, 10);
         assert_eq!(sim.world().hops, 10);
         assert_eq!(sim.now(), SimTime::from_ns(9));
+    }
+
+    #[test]
+    fn tracer_rides_the_scheduler() {
+        struct Traced;
+        impl World for Traced {
+            type Event = ();
+            fn handle(&mut self, now: SimTime, _: (), s: &mut Scheduler<()>) {
+                if let Some(t) = s.tracer_mut() {
+                    t.instant("tick", "test", now.as_ns(), 0, 0, None);
+                }
+            }
+        }
+        let mut sim = Simulation::new(Traced);
+        sim.attach_tracer(cdna_trace::Tracer::new(16));
+        sim.schedule(SimTime::from_us(1), ());
+        sim.schedule(SimTime::from_us(2), ());
+        sim.run_to_completion();
+        let tracer = sim.take_tracer().expect("tracer attached");
+        assert_eq!(tracer.len(), 2);
+        assert!(sim.tracer().is_none());
     }
 
     #[test]

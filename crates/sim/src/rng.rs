@@ -1,14 +1,12 @@
 //! Deterministic random number generation.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-
 /// A seeded random number generator for simulation use.
 ///
 /// Every run of an experiment is fully determined by its configuration and
-/// seed, so paper tables regenerate bit-identically. The generator is a
-/// thin wrapper over [`rand::rngs::SmallRng`] exposing only the operations
-/// the models need.
+/// seed, so paper tables regenerate bit-identically. The core generator is
+/// an in-repo xoshiro256++ (Blackman & Vigna) seeded through splitmix64,
+/// exposing only the operations the models need — no external crates, so
+/// the tier-1 build stays hermetic.
 ///
 /// # Example
 ///
@@ -21,20 +19,60 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
+}
+
+/// The splitmix64 step, used to expand a 64-bit seed into the four
+/// xoshiro state words (the seeding procedure the xoshiro authors
+/// recommend).
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from(seed: u64) -> Self {
-        SimRng {
-            inner: SmallRng::seed_from_u64(seed),
-        }
+        let mut s = seed;
+        let state = [
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+        ];
+        SimRng { state }
     }
 
-    /// Uniform integer in `range` (empty ranges panic, as in `rand`).
+    /// The xoshiro256++ step: uniform over all of `u64`.
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform integer in `range` (empty ranges panic).
     pub fn range_u64(&mut self, range: std::ops::Range<u64>) -> u64 {
-        self.inner.gen_range(range)
+        assert!(range.start < range.end, "cannot sample empty range");
+        let span = range.end - range.start;
+        // Debiased modular reduction (rejection sampling): reject the
+        // partial final copy of `span` within u64's range.
+        let zone = u64::MAX - (u64::MAX - span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return range.start + v % span;
+            }
+        }
     }
 
     /// Uniform `usize` below `bound`.
@@ -44,12 +82,13 @@ impl SimRng {
     /// Panics if `bound` is zero.
     pub fn below(&mut self, bound: usize) -> usize {
         assert!(bound > 0, "below(0) is an empty range");
-        self.inner.gen_range(0..bound)
+        self.range_u64(0..bound as u64) as usize
     }
 
     /// Uniform float in `[0, 1)`.
     pub fn unit_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits → the standard dyadic-rational construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
@@ -66,7 +105,7 @@ impl SimRng {
     /// Derives an independent generator for a sub-component, so adding a
     /// consumer in one component does not perturb another's stream.
     pub fn fork(&mut self, stream: u64) -> SimRng {
-        let base = self.inner.gen::<u64>();
+        let base = self.next_u64();
         SimRng::seed_from(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 }
@@ -91,6 +130,37 @@ mod tests {
         let va: Vec<u64> = (0..16).map(|_| a.range_u64(0..u64::MAX)).collect();
         let vb: Vec<u64> = (0..16).map(|_| b.range_u64(0..u64::MAX)).collect();
         assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn matches_reference_xoshiro256pp_vectors() {
+        // First outputs of xoshiro256++ from the state
+        // [1, 2, 3, 4], per the reference C implementation at
+        // https://prng.di.unimi.it/xoshiro256plusplus.c
+        let mut r = SimRng {
+            state: [1, 2, 3, 4],
+        };
+        let expect: [u64; 5] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+        ];
+        for e in expect {
+            assert_eq!(r.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn range_is_unbiased_at_edges() {
+        let mut r = SimRng::seed_from(11);
+        for _ in 0..1000 {
+            let v = r.range_u64(10..13);
+            assert!((10..13).contains(&v));
+        }
+        // Span of 1 always returns the start.
+        assert_eq!(r.range_u64(99..100), 99);
     }
 
     #[test]

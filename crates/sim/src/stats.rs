@@ -1,7 +1,5 @@
 //! Small statistics helpers for the measurement harness.
 
-use serde::{Deserialize, Serialize};
-
 use crate::SimTime;
 
 /// Streaming mean/variance/min/max accumulator (Welford's algorithm).
@@ -18,7 +16,7 @@ use crate::SimTime;
 /// assert_eq!(s.mean(), 4.0);
 /// assert_eq!(s.count(), 3);
 /// ```
-#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct RunningStats {
     count: u64,
     mean: f64,
@@ -102,7 +100,7 @@ impl RunningStats {
 /// m.stop(SimTime::from_secs(2));
 /// assert_eq!(m.per_second(), 500.0);
 /// ```
-#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct RateMeter {
     events: u64,
     window_start: SimTime,

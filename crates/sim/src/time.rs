@@ -4,8 +4,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// A point in simulated time (or a span of it), in nanoseconds.
 ///
 /// `SimTime` doubles as both an instant and a duration, like the paper's
@@ -23,9 +21,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.as_ns(), 12_300);
 /// assert!(t < SimTime::from_ms(1));
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SimTime(u64);
 
 impl SimTime {

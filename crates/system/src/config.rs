@@ -3,12 +3,11 @@
 use cdna_core::DmaPolicy;
 use cdna_ricenic::RiceNicConfig;
 use cdna_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 use crate::CostModel;
 
 /// Which physical NIC hardware the testbed uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NicKind {
     /// Intel Pro/1000 MT-class conventional NIC (TSO, coalescing).
     Intel,
@@ -19,7 +18,7 @@ pub enum NicKind {
 
 /// The I/O virtualization architecture under test — the paper's three
 /// configurations plus the unvirtualized baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IoModel {
     /// No VMM: the OS drives the NICs directly (Table 1 "Native Linux").
     Native {
@@ -69,7 +68,7 @@ impl IoModel {
 }
 
 /// Traffic direction, from the host's point of view.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Direction {
     /// Host transmits; the peer sinks at line rate.
     Transmit,
@@ -78,7 +77,7 @@ pub enum Direction {
 }
 
 /// Full configuration of one experiment run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TestbedConfig {
     /// I/O architecture under test.
     pub io_model: IoModel,

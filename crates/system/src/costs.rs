@@ -25,7 +25,6 @@
 //!   share.
 
 use cdna_sim::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// Nanosecond helper for the table below.
 const fn ns(v: u64) -> SimTime {
@@ -33,7 +32,7 @@ const fn ns(v: u64) -> SimTime {
 }
 
 /// CPU costs of every modelled mechanism.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CostModel {
     // ---- Guest / native OS network stack (per MSS packet) ----
     /// TCP/IP transmit path in the kernel (checksum offloaded).

@@ -37,6 +37,6 @@ mod world;
 pub use config::{Direction, IoModel, NicKind, TestbedConfig};
 pub use costs::CostModel;
 pub use report::{Comparison, RunReport};
-pub use testbed::run_experiment;
+pub use testbed::{run_experiment, run_instrumented, Instrumentation, RunArtifacts};
 pub use workload::{GuestWorkload, PeerSource, TxUnit};
 pub use world::{DomainState, Event, HostRx, Meters, NicSlot, PhysDriver, Role, SystemWorld};

@@ -2,12 +2,13 @@
 
 use std::fmt;
 
+use cdna_trace::json::JsonWriter;
+use cdna_trace::Registry;
 use cdna_xen::ExecutionProfile;
-use serde::{Deserialize, Serialize};
 
 /// The outcome of one testbed run — everything the paper's tables
 /// report, plus the simulation's internal counters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Configuration label ("CDNA/RiceNIC", ...).
     pub label: String,
@@ -46,6 +47,9 @@ pub struct RunReport {
     pub per_guest_mbps: Vec<f64>,
     /// Simulation events processed (diagnostics).
     pub events_processed: u64,
+    /// Full per-domain counter registry, populated when the run was
+    /// executed with metric collection enabled.
+    pub metrics: Option<Registry>,
 }
 
 impl RunReport {
@@ -86,6 +90,70 @@ impl RunReport {
             self.guest_virq_per_s,
         )
     }
+
+    /// Serializes the report as a JSON object (what `--json` prints).
+    ///
+    /// Hand-rolled via [`JsonWriter`] — the repo builds with zero
+    /// external dependencies, so there is no serde. Field names match
+    /// the struct fields; the profile nests as an object, and the
+    /// counter registry (when collected) appears under `"metrics"`.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::with_capacity(1024);
+        w.begin_object();
+        w.key("label");
+        w.string(&self.label);
+        w.key("guests");
+        w.number_u64(self.guests as u64);
+        w.key("throughput_mbps");
+        w.number_f64(self.throughput_mbps);
+        w.key("profile");
+        w.begin_object();
+        w.key("hypervisor_frac");
+        w.number_f64(self.profile.hypervisor_frac);
+        w.key("driver_kernel_frac");
+        w.number_f64(self.profile.driver_kernel_frac);
+        w.key("driver_user_frac");
+        w.number_f64(self.profile.driver_user_frac);
+        w.key("guest_kernel_frac");
+        w.number_f64(self.profile.guest_kernel_frac);
+        w.key("guest_user_frac");
+        w.number_f64(self.profile.guest_user_frac);
+        w.key("idle_frac");
+        w.number_f64(self.profile.idle_frac);
+        w.end_object();
+        w.key("nic_interrupts_per_s");
+        w.number_f64(self.nic_interrupts_per_s);
+        w.key("guest_virq_per_s");
+        w.number_f64(self.guest_virq_per_s);
+        w.key("driver_virq_per_s");
+        w.number_f64(self.driver_virq_per_s);
+        w.key("packets");
+        w.number_u64(self.packets);
+        w.key("rx_dropped");
+        w.number_u64(self.rx_dropped);
+        w.key("page_flips_per_s");
+        w.number_f64(self.page_flips_per_s);
+        w.key("hypercalls_per_s");
+        w.number_f64(self.hypercalls_per_s);
+        w.key("domain_switches_per_s");
+        w.number_f64(self.domain_switches_per_s);
+        w.key("protection_faults");
+        w.number_u64(self.protection_faults);
+        w.key("per_guest_mbps");
+        w.begin_array();
+        for &m in &self.per_guest_mbps {
+            w.number_f64(m);
+        }
+        w.end_array();
+        w.key("events_processed");
+        w.number_u64(self.events_processed);
+        if let Some(reg) = &self.metrics {
+            w.key("metrics");
+            reg.write_json(&mut w);
+        }
+        w.end_object();
+        w.finish()
+    }
 }
 
 impl fmt::Display for RunReport {
@@ -122,12 +190,16 @@ impl fmt::Display for RunReport {
             self.hypercalls_per_s,
             self.domain_switches_per_s,
             self.protection_faults
-        )
+        )?;
+        if let Some(reg) = &self.metrics {
+            write!(f, "\n\ncounters:\n{}", reg.table())?;
+        }
+        Ok(())
     }
 }
 
 /// A paper-vs-simulated comparison cell used by the bench binaries.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Comparison {
     /// Value the paper reports.
     pub paper: f64,
@@ -204,6 +276,7 @@ mod tests {
             protection_faults: 0,
             per_guest_mbps: vec![1867.0],
             events_processed: 1_000_000,
+            metrics: None,
         }
     }
 
@@ -229,6 +302,43 @@ mod tests {
         assert!((r.fairness_index() - 0.25).abs() < 1e-12);
         r.per_guest_mbps = vec![];
         assert_eq!(r.fairness_index(), 1.0);
+    }
+
+    #[test]
+    fn json_round_trips_key_fields() {
+        let mut r = report();
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains(r#""label":"CDNA/RiceNIC""#));
+        assert!(j.contains(r#""throughput_mbps":1867.0"#));
+        assert!(j.contains(r#""idle_frac":0.508"#));
+        assert!(j.contains(r#""per_guest_mbps":[1867.0]"#));
+        assert!(!j.contains("metrics"));
+
+        let mut reg = Registry::new();
+        reg.add_by_key(
+            cdna_trace::MetricKey::new(cdna_trace::Domain::Global, "sim", "events"),
+            7,
+        );
+        r.metrics = Some(reg);
+        let j = r.to_json();
+        assert!(j.contains(r#""metrics":{"global/sim/events":7}"#));
+    }
+
+    #[test]
+    fn display_appends_counter_table_when_collected() {
+        let mut r = report();
+        assert!(!r.to_string().contains("counters:"));
+        let mut reg = Registry::new();
+        reg.add_by_key(
+            cdna_trace::MetricKey::new(cdna_trace::Domain::Hypervisor, "irq", "physical"),
+            3,
+        );
+        r.metrics = Some(reg);
+        let s = r.to_string();
+        assert!(s.contains("counters:"));
+        assert!(s.contains("[hypervisor]"));
+        assert!(s.contains("irq/physical"));
     }
 
     #[test]

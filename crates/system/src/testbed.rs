@@ -1,8 +1,33 @@
 //! Running experiments end to end.
 
 use cdna_sim::Simulation;
+use cdna_trace::Tracer;
 
+use crate::world::trace;
 use crate::{RunReport, SystemWorld, TestbedConfig};
+
+/// What to capture beyond the report itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Instrumentation {
+    /// When `Some(n)`, attach an `n`-event ring tracer and export the
+    /// run as Chrome trace JSON. `None` leaves tracing off — the hot
+    /// path then costs one branch per decision point and allocates
+    /// nothing.
+    pub trace_capacity: Option<usize>,
+    /// When true, copy the substrate components' counters into the
+    /// report's [`cdna_trace::Registry`] at the end of the run.
+    pub collect_metrics: bool,
+}
+
+/// A report plus any instrumentation artifacts captured alongside it.
+#[derive(Debug, Clone)]
+pub struct RunArtifacts {
+    /// The run's report (with `metrics` populated if requested).
+    pub report: RunReport,
+    /// Chrome `trace_event` JSON for the run, when tracing was on.
+    /// Load it at `ui.perfetto.dev` or `chrome://tracing`.
+    pub chrome_trace: Option<String>,
+}
 
 /// Builds the machine for `cfg`, runs warm-up plus the measurement
 /// window, and returns the report.
@@ -27,12 +52,21 @@ use crate::{RunReport, SystemWorld, TestbedConfig};
 /// assert_eq!(report.protection_faults, 0);
 /// ```
 pub fn run_experiment(cfg: TestbedConfig) -> RunReport {
+    run_instrumented(cfg, Instrumentation::default()).report
+}
+
+/// Like [`run_experiment`], but optionally records an event trace
+/// and/or the full counter registry alongside the report.
+pub fn run_instrumented(cfg: TestbedConfig, instr: Instrumentation) -> RunArtifacts {
     let label = cfg.io_model.label().to_string();
     let guests = cfg.guests;
     let end = cfg.warmup + cfg.measure;
     let direction = cfg.direction;
 
     let mut sim = Simulation::new(SystemWorld::build(cfg));
+    if let Some(capacity) = instr.trace_capacity {
+        sim.attach_tracer(Tracer::new(capacity));
+    }
     let primed = sim.world_mut().prime();
     for (t, e) in primed {
         sim.schedule(t, e);
@@ -40,7 +74,27 @@ pub fn run_experiment(cfg: TestbedConfig) -> RunReport {
     sim.run_until(end);
 
     let events = sim.events_processed();
-    let world = sim.into_world();
+    let tracer = sim.take_tracer();
+    let mut world = sim.into_world();
+
+    let chrome_trace = tracer.map(|mut t| {
+        t.name_process(trace::PID_CPU, "cpu");
+        t.name_thread(trace::PID_CPU, 0, "hypervisor");
+        for i in 0..world.domains.len() {
+            let name = if i == 0 && guests > 0 {
+                "driver".to_string()
+            } else if guests > 0 {
+                format!("guest{}", i - 1)
+            } else {
+                "native os".to_string()
+            };
+            t.name_thread(trace::PID_CPU, i as u32 + 1, &name);
+        }
+        for n in 0..world.nics.len() {
+            t.name_process(trace::pid_nic(n), &format!("nic{n}"));
+        }
+        t.to_chrome_json()
+    });
     let window_s = world.cfg.measure.as_secs_f64();
 
     // Inter-VM runs measure delivery at the receiving guests' stacks;
@@ -73,7 +127,14 @@ pub fn run_experiment(cfg: TestbedConfig) -> RunReport {
         })
         .collect();
 
-    RunReport {
+    let metrics = if instr.collect_metrics {
+        world.collect_metrics();
+        Some(world.registry.clone())
+    } else {
+        None
+    };
+
+    let report = RunReport {
         label,
         guests,
         throughput_mbps: payload_bytes_per_s * 8.0 / 1e6,
@@ -89,5 +150,10 @@ pub fn run_experiment(cfg: TestbedConfig) -> RunReport {
         protection_faults: world.faults.len() as u64,
         per_guest_mbps,
         events_processed: events,
+        metrics,
+    };
+    RunArtifacts {
+        report,
+        chrome_trace,
     }
 }

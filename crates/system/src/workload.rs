@@ -8,7 +8,6 @@
 //! across the physical NICs.
 
 use cdna_net::FlowId;
-use serde::{Deserialize, Serialize};
 
 /// One guest's set of greedy connections.
 ///
@@ -24,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert_ne!(a.nic, b.nic);
 /// assert_ne!(a.flow.conn, b.flow.conn);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct GuestWorkload {
     guest: u16,
     conns: u16,
@@ -119,7 +118,7 @@ impl GuestWorkload {
 /// The peer machine's receive-side generator state for one NIC: rotates
 /// destination flows fairly across every (guest, connection) pair
 /// assigned to that NIC.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PeerSource {
     targets: Vec<FlowId>,
     next: usize,

@@ -19,6 +19,7 @@ use cdna_nic::{
 };
 use cdna_ricenic::RiceNic;
 use cdna_sim::{RateMeter, Scheduler, SimRng, SimTime, World};
+use cdna_trace::{CounterId, Domain, MetricKey, Registry};
 use cdna_xen::{
     BridgePort, CdnaGuestDriver, CpuLedger, EthernetBridge, EventChannels, ExecCategory,
     FrontBackChannel, NativeDriver, PvPacket, RunQueue, VirtualIrq,
@@ -153,6 +154,43 @@ impl DomainState {
     }
 }
 
+/// Track-id conventions for exported Chrome traces: one process track
+/// for the CPU, one per physical NIC.
+pub mod trace {
+    /// Process track for the (single) CPU.
+    pub const PID_CPU: u32 = 0;
+
+    /// Process track for physical NIC `n`.
+    pub fn pid_nic(n: usize) -> u32 {
+        1 + n as u32
+    }
+}
+
+/// Pre-interned registry handles for hot-path counters, so increments
+/// on the event path are a plain array add (no hashing, no allocation).
+#[derive(Debug, Clone, Copy)]
+struct HotIds {
+    phys_irq: CounterId,
+    guest_virq: CounterId,
+    driver_virq: CounterId,
+    world_switches: CounterId,
+}
+
+impl HotIds {
+    fn new(reg: &mut Registry) -> Self {
+        HotIds {
+            phys_irq: reg.counter(MetricKey::new(Domain::Hypervisor, "irq", "physical")),
+            guest_virq: reg.counter(MetricKey::new(Domain::Hypervisor, "irq", "guest_virtual")),
+            driver_virq: reg.counter(MetricKey::new(Domain::Hypervisor, "irq", "driver_virtual")),
+            world_switches: reg.counter(MetricKey::new(
+                Domain::Hypervisor,
+                "sched",
+                "world_switches",
+            )),
+        }
+    }
+}
+
 #[derive(Debug, Default, Clone, Copy)]
 struct CounterSnap {
     switches: u64,
@@ -232,6 +270,11 @@ pub struct SystemWorld {
     pub rx_credit_drops: u64,
     /// Deterministic RNG (reserved for jittered extensions).
     pub rng: SimRng,
+    /// Metric counters/histograms (`cdna-trace`). Hot paths increment
+    /// through pre-interned handles; component stats are copied in by
+    /// [`SystemWorld::collect_metrics`] at report time.
+    pub registry: Registry,
+    hot: HotIds,
 
     cpu_busy_until: SimTime,
     dispatch_pending: bool,
@@ -244,6 +287,9 @@ impl World for SystemWorld {
     type Event = Event;
 
     fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<Event>) {
+        // Keep the profile sampler's cursor at the event clock so every
+        // charge lands in the sampling slice containing `now`.
+        self.ledger.advance_to(now);
         match event {
             Event::CpuDispatch => self.on_cpu_dispatch(now, sched),
             Event::PhysIrq { nic, reason } => self.on_phys_irq(now, sched, nic, reason),
@@ -251,8 +297,32 @@ impl World for SystemWorld {
             Event::WireTxDone { nic, frame } => self.on_wire_tx_done(now, sched, nic, frame),
             Event::WireRxArrive { nic, frame } => self.on_wire_rx_arrive(now, sched, nic, frame),
             Event::PeerPump { nic } => self.on_peer_pump(now, sched, nic),
-            Event::StartMeasure => self.on_start_measure(now),
-            Event::StopMeasure => self.on_stop_measure(now),
+            Event::StartMeasure => {
+                if let Some(t) = sched.tracer_mut() {
+                    t.instant(
+                        "start_measure",
+                        "measure",
+                        now.as_ns(),
+                        trace::PID_CPU,
+                        0,
+                        None,
+                    );
+                }
+                self.on_start_measure(now);
+            }
+            Event::StopMeasure => {
+                if let Some(t) = sched.tracer_mut() {
+                    t.instant(
+                        "stop_measure",
+                        "measure",
+                        now.as_ns(),
+                        trace::PID_CPU,
+                        0,
+                        None,
+                    );
+                }
+                self.on_stop_measure(now);
+            }
         }
     }
 }
@@ -455,6 +525,8 @@ impl SystemWorld {
         }
 
         let nic_total = cfg.nics;
+        let mut registry = Registry::new();
+        let hot = HotIds::new(&mut registry);
         let mut world = SystemWorld {
             cfg,
             mem,
@@ -478,6 +550,8 @@ impl SystemWorld {
             faults: Vec::new(),
             rx_credit_drops: 0,
             rng,
+            registry,
+            hot,
             cpu_busy_until: SimTime::ZERO,
             dispatch_pending: false,
             pending_irqs: VecDeque::new(),
@@ -743,6 +817,93 @@ impl SystemWorld {
         )
     }
 
+    /// Copies the substrate components' lifetime counters into the
+    /// metric registry (the hot-path counters are already there). Call
+    /// once, when the run ends; the registry then holds the full
+    /// per-domain counter table.
+    pub fn collect_metrics(&mut self) {
+        let reg = &mut self.registry;
+        reg.set_by_key(
+            MetricKey::new(Domain::Hypervisor, "sched", "switches_total"),
+            self.runq.switches(),
+        );
+        reg.set_by_key(
+            MetricKey::new(Domain::Global, "mem", "outstanding_pins"),
+            self.mem.outstanding_pins(),
+        );
+        reg.set_by_key(
+            MetricKey::new(Domain::Global, "world", "rx_credit_drops"),
+            self.rx_credit_drops,
+        );
+        reg.set_by_key(
+            MetricKey::new(Domain::Global, "world", "protection_faults"),
+            self.faults.len() as u64,
+        );
+        // DMA protection engines live in the hypervisor, one per NIC.
+        for (i, engine) in self.engines.iter().enumerate() {
+            let s = engine.stats();
+            let n = i as u32 + 1;
+            let key = |metric| MetricKey::instance(Domain::Hypervisor, "protection", metric, n);
+            reg.set_by_key(key("hypercalls"), s.hypercalls);
+            reg.set_by_key(key("descriptors_enqueued"), s.descriptors_enqueued);
+            reg.set_by_key(key("pages_pinned"), s.pages_pinned);
+            reg.set_by_key(key("rejections"), s.rejections);
+        }
+        for (i, nic) in self.nics.iter().enumerate() {
+            let d = Domain::Nic(i as u16);
+            match nic {
+                NicSlot::Conventional(dev) => {
+                    let s = dev.stats();
+                    let key = |metric| MetricKey::new(d, "dev", metric);
+                    reg.set_by_key(key("tx_frames"), s.tx_frames);
+                    reg.set_by_key(key("tx_payload_bytes"), s.tx_payload_bytes);
+                    reg.set_by_key(key("rx_frames"), s.rx_frames);
+                    reg.set_by_key(key("rx_payload_bytes"), s.rx_payload_bytes);
+                    reg.set_by_key(key("rx_dropped"), s.rx_dropped);
+                    reg.set_by_key(key("interrupts"), s.interrupts);
+                }
+                NicSlot::Rice(dev) => {
+                    let s = dev.stats();
+                    let key = |metric| MetricKey::new(d, "dev", metric);
+                    reg.set_by_key(key("tx_frames"), s.tx_frames);
+                    reg.set_by_key(key("tx_payload_bytes"), s.tx_payload_bytes);
+                    reg.set_by_key(key("rx_frames"), s.rx_frames);
+                    reg.set_by_key(key("rx_payload_bytes"), s.rx_payload_bytes);
+                    reg.set_by_key(key("rx_dropped"), s.rx_dropped);
+                    reg.set_by_key(key("interrupts"), s.interrupts);
+                    reg.set_by_key(key("vector_ring_dmas"), s.vectors_flushed);
+                    reg.set_by_key(key("faults"), s.faults);
+                }
+            }
+        }
+        // Per-guest paravirtualized channel counters (Xen mode).
+        for (g, ch) in self.channels.iter().enumerate() {
+            let s = ch.stats();
+            let key = |metric| MetricKey::new(Domain::Guest(g as u16), "chan", metric);
+            reg.set_by_key(key("tx_packets"), s.tx_packets);
+            reg.set_by_key(key("rx_packets"), s.rx_packets);
+            reg.set_by_key(key("page_flips"), s.page_flips);
+            reg.set_by_key(key("grant_maps"), s.grant_maps);
+        }
+        // Per-guest CDNA context counters, one instance per NIC.
+        for (g, ctxs) in self.ctx_of.iter().enumerate() {
+            for (nic, &ctx) in ctxs.iter().enumerate() {
+                let NicSlot::Rice(dev) = &self.nics[nic] else {
+                    continue;
+                };
+                let Some(c) = dev.context_counters(ctx) else {
+                    continue;
+                };
+                let key = |metric| {
+                    MetricKey::instance(Domain::Guest(g as u16), "ctx", metric, nic as u32 + 1)
+                };
+                reg.set_by_key(key("tx_descriptors"), c.tx_descriptors);
+                reg.set_by_key(key("rx_descriptors"), c.rx_descriptors);
+                reg.set_by_key(key("seqnum_checks"), c.seq_checks);
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // CPU machinery
     // ------------------------------------------------------------------
@@ -769,8 +930,10 @@ impl SystemWorld {
         debug_assert!(now >= self.cpu_busy_until, "CPU dispatched while busy");
         self.dispatch_cost = SimTime::ZERO;
 
+        let (span_name, span_tid);
         if let Some((nic, reason)) = self.pending_irqs.pop_front() {
             self.service_irq(now, sched, nic, reason);
+            (span_name, span_tid) = ("service_irq", 0u32);
         } else if self.runq.has_runnable() {
             let prev = self.runq.last_run();
             let dom = self.runq.pick().expect("runnable");
@@ -778,6 +941,7 @@ impl SystemWorld {
             if self.cfg.is_virtualized() {
                 self.charge(ExecCategory::Hypervisor, pick);
                 if prev != Some(dom) {
+                    self.registry.inc(self.hot.world_switches);
                     let sw = self.cfg.costs.hyp_domain_switch;
                     let cp = self.cfg.costs.switch_cache_penalty;
                     self.charge(ExecCategory::Hypervisor, sw);
@@ -785,11 +949,25 @@ impl SystemWorld {
                 }
             }
             self.run_domain(now, sched, dom);
+            (span_name, span_tid) = ("run_domain", self.domain_index(dom) as u32 + 1);
         } else {
             return; // idle; events will re-kick
         }
 
         self.cpu_busy_until = now + self.dispatch_cost;
+        if self.dispatch_cost > SimTime::ZERO {
+            if let Some(t) = sched.tracer_mut() {
+                t.span(
+                    span_name,
+                    "cpu",
+                    now.as_ns(),
+                    self.dispatch_cost.as_ns(),
+                    trace::PID_CPU,
+                    span_tid,
+                    None,
+                );
+            }
+        }
         self.kick_cpu(now, sched);
     }
 
@@ -817,6 +995,7 @@ impl SystemWorld {
                     let _ = vector; // dom0 owns every flagged context
                 }
                 self.meters.driver_virq.add(1);
+                self.registry.inc(self.hot.driver_virq);
                 if self.evt.send(DomainId::DRIVER, VirtualIrq::NicPhys) {
                     self.charge(ExecCategory::Hypervisor, costs.hyp_evtchn_send);
                 }
@@ -831,6 +1010,7 @@ impl SystemWorld {
                     };
                     self.charge(ExecCategory::Hypervisor, costs.hyp_cdna_vint);
                     self.meters.guest_virq.add(1);
+                    self.registry.inc(self.hot.guest_virq);
                     if self.evt.send(owner, VirtualIrq::Cdna) {
                         self.charge(ExecCategory::Hypervisor, costs.hyp_evtchn_send);
                     }
@@ -1290,6 +1470,7 @@ impl SystemWorld {
             if pushed > 0 {
                 self.charge(ExecCategory::Hypervisor, costs.hyp_evtchn_send);
                 self.meters.driver_virq.add(1);
+                self.registry.inc(self.hot.driver_virq);
                 self.evt.send(DomainId::DRIVER, VirtualIrq::Netback);
                 self.runq.wake(DomainId::DRIVER);
             }
@@ -1685,6 +1866,7 @@ impl SystemWorld {
         let send = self.cfg.costs.hyp_evtchn_send;
         self.charge(ExecCategory::Hypervisor, send);
         self.meters.guest_virq.add(1);
+        self.registry.inc(self.hot.guest_virq);
         self.evt.send(guest, VirtualIrq::Netfront);
         self.runq.wake(guest);
     }
@@ -1829,6 +2011,10 @@ impl SystemWorld {
         }
         self.nic_irq_count += 1;
         self.meters.nic_irq.add(1);
+        self.registry.inc(self.hot.phys_irq);
+        if let Some(t) = sched.tracer_mut() {
+            t.instant("phys_irq", "irq", now.as_ns(), trace::pid_nic(nic), 0, None);
+        }
         self.pending_irqs.push_back((nic, reason));
         self.kick_cpu(now, sched);
     }

@@ -1,0 +1,213 @@
+//! Fixed-footprint log-bucketed histogram.
+
+/// A histogram over `u64` observations with power-of-two buckets.
+///
+/// Bucket `i` covers values whose bit length is `i` (bucket 0 holds the
+/// value 0), so the footprint is a constant 65 counters regardless of
+/// range. Percentile queries return the *upper bound* of the bucket the
+/// requested rank falls in — at most 2× the true value, which is plenty
+/// for latency/size distributions in reports — except for the exact
+/// tracked minimum and maximum.
+///
+/// # Example
+///
+/// ```
+/// use cdna_trace::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// assert_eq!(h.min(), Some(1));
+/// assert_eq!(h.max(), Some(1000));
+/// let p50 = h.percentile(50.0);
+/// assert!((256..=1024).contains(&p50));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation. Constant time, no allocation.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest observation, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Upper bound of the value at percentile `p` (0–100).
+    ///
+    /// Returns 0 for an empty histogram. `p <= 0` returns the minimum;
+    /// `p >= 100` returns the maximum (both exact).
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if p <= 0.0 {
+            return self.min;
+        }
+        if p >= 100.0 {
+            return self.max;
+        }
+        // Rank of the requested observation, 1-based, ceiling — the
+        // observation such that `p` percent of the data is at or below
+        // its bucket.
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Never report beyond the true extremes.
+                return bucket_upper(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn bucket_math() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn extremes_are_exact() {
+        let mut h = Histogram::new();
+        for v in [3u64, 17, 200, 9000] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 3);
+        assert_eq!(h.percentile(100.0), 9000);
+        assert_eq!(h.min(), Some(3));
+        assert_eq!(h.max(), Some(9000));
+        assert_eq!(h.sum(), 9220);
+    }
+
+    #[test]
+    fn percentile_within_one_bucket_of_truth() {
+        let mut h = Histogram::new();
+        for v in 1..=1024u64 {
+            h.record(v);
+        }
+        // True p50 = 512; the bucketed answer must be within [512, 1023].
+        let p50 = h.percentile(50.0);
+        assert!((512..=1023).contains(&p50), "p50 = {p50}");
+        // p99 true = 1014; answer within [1014, 1024] after max clamp.
+        let p99 = h.percentile(99.0);
+        assert!((1014..=1024).contains(&p99), "p99 = {p99}");
+    }
+
+    #[test]
+    fn single_value_percentiles_collapse() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(42);
+        }
+        assert_eq!(h.percentile(1.0), 42);
+        assert_eq!(h.percentile(50.0), 42);
+        assert_eq!(h.percentile(99.9), 42);
+    }
+
+    #[test]
+    fn zero_values_count() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        h.record(8);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.max(), Some(8));
+    }
+}

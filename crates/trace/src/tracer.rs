@@ -1,0 +1,388 @@
+//! Bounded ring-buffer event tracing with Chrome `trace_event` export.
+//!
+//! The [`Tracer`] records [`TraceEvent`]s into a fixed-capacity ring —
+//! when full, the *oldest* events are dropped so a long run always
+//! keeps its most recent history. [`Tracer::to_chrome_json`] serializes
+//! the ring in the Chrome `trace_event` JSON format, which loads
+//! directly into Perfetto (<https://ui.perfetto.dev>) or
+//! `about://tracing`. Timestamps are simulated nanoseconds; the
+//! exporter emits microseconds with three decimals, the format's native
+//! resolution trick for sub-microsecond data.
+
+use std::collections::VecDeque;
+
+use crate::json::JsonWriter;
+
+/// Chrome `trace_event` phase of an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// A span with a start and a duration (`ph: "X"`).
+    Complete,
+    /// A point-in-time marker (`ph: "i"`).
+    Instant,
+    /// A sampled counter value (`ph: "C"`).
+    Counter,
+}
+
+impl Phase {
+    fn code(self) -> &'static str {
+        match self {
+            Phase::Complete => "X",
+            Phase::Instant => "i",
+            Phase::Counter => "C",
+        }
+    }
+}
+
+/// One recorded event. All strings are `&'static str` so recording
+/// never allocates; per-event numeric payload rides in `arg`.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEvent {
+    /// Event name (the label shown on the track).
+    pub name: &'static str,
+    /// Category (comma-separated tags in the Chrome format).
+    pub cat: &'static str,
+    /// Phase kind.
+    pub ph: Phase,
+    /// Start time in simulated nanoseconds.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds (0 unless `ph` is [`Phase::Complete`]).
+    pub dur_ns: u64,
+    /// Process track (one per simulated machine/NIC).
+    pub pid: u32,
+    /// Thread track within the process (one per domain/context).
+    pub tid: u32,
+    /// Optional single numeric argument (`args: {key: value}`); the
+    /// value of a [`Phase::Counter`] sample goes here.
+    pub arg: Option<(&'static str, u64)>,
+}
+
+/// Fixed-capacity event recorder.
+///
+/// # Example
+///
+/// ```
+/// use cdna_trace::{Phase, Tracer};
+///
+/// let mut t = Tracer::new(1024);
+/// t.span("world_switch", "sched", 1_000, 250, 0, 1, None);
+/// t.instant("virq", "irq", 1_500, 0, 2, Some(("vector", 3)));
+/// let json = t.to_chrome_json();
+/// assert!(json.starts_with("{\"traceEvents\":["));
+/// ```
+#[derive(Debug)]
+pub struct Tracer {
+    ring: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+    /// `(pid, tid, name)` thread-track labels; `tid == u32::MAX` labels
+    /// the process itself.
+    labels: Vec<(u32, u32, String)>,
+}
+
+impl Tracer {
+    /// Creates a tracer that retains at most `capacity` events,
+    /// dropping the oldest on overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "tracer capacity must be positive");
+        Tracer {
+            ring: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+            labels: Vec::new(),
+        }
+    }
+
+    /// Records an event, evicting the oldest if the ring is full.
+    #[inline]
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(ev);
+    }
+
+    /// Records a completed span (`ph: "X"`).
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn span(
+        &mut self,
+        name: &'static str,
+        cat: &'static str,
+        ts_ns: u64,
+        dur_ns: u64,
+        pid: u32,
+        tid: u32,
+        arg: Option<(&'static str, u64)>,
+    ) {
+        self.record(TraceEvent {
+            name,
+            cat,
+            ph: Phase::Complete,
+            ts_ns,
+            dur_ns,
+            pid,
+            tid,
+            arg,
+        });
+    }
+
+    /// Records an instant marker (`ph: "i"`).
+    #[inline]
+    pub fn instant(
+        &mut self,
+        name: &'static str,
+        cat: &'static str,
+        ts_ns: u64,
+        pid: u32,
+        tid: u32,
+        arg: Option<(&'static str, u64)>,
+    ) {
+        self.record(TraceEvent {
+            name,
+            cat,
+            ph: Phase::Instant,
+            ts_ns,
+            dur_ns: 0,
+            pid,
+            tid,
+            arg,
+        });
+    }
+
+    /// Records a counter sample (`ph: "C"`). Shows as a stacked-area
+    /// track in the viewer.
+    #[inline]
+    pub fn counter(
+        &mut self,
+        name: &'static str,
+        ts_ns: u64,
+        pid: u32,
+        series: &'static str,
+        value: u64,
+    ) {
+        self.record(TraceEvent {
+            name,
+            cat: "counter",
+            ph: Phase::Counter,
+            ts_ns,
+            dur_ns: 0,
+            pid,
+            tid: 0,
+            arg: Some((series, value)),
+        });
+    }
+
+    /// Labels the process track `pid` in the viewer.
+    pub fn name_process(&mut self, pid: u32, name: &str) {
+        self.labels.push((pid, u32::MAX, name.to_string()));
+    }
+
+    /// Labels thread track `tid` within process `pid` in the viewer.
+    pub fn name_thread(&mut self, pid: u32, tid: u32, name: &str) {
+        self.labels.push((pid, tid, name.to_string()));
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Number of events evicted due to overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter()
+    }
+
+    /// Serializes the retained events as Chrome `trace_event` JSON
+    /// (object form, `traceEvents` array) loadable in Perfetto.
+    pub fn to_chrome_json(&self) -> String {
+        // ~120 bytes per event is a comfortable overestimate.
+        let mut w = JsonWriter::with_capacity(self.ring.len() * 120 + 256);
+        w.begin_object();
+        w.key("traceEvents");
+        w.begin_array();
+        for (pid, tid, name) in &self.labels {
+            w.begin_object();
+            w.key("name");
+            if *tid == u32::MAX {
+                w.string("process_name");
+            } else {
+                w.string("thread_name");
+            }
+            w.key("ph");
+            w.string("M");
+            w.key("pid");
+            w.number_u64(u64::from(*pid));
+            if *tid != u32::MAX {
+                w.key("tid");
+                w.number_u64(u64::from(*tid));
+            }
+            w.key("args");
+            w.begin_object();
+            w.key("name");
+            w.string(name);
+            w.end_object();
+            w.end_object();
+        }
+        for ev in &self.ring {
+            w.begin_object();
+            w.key("name");
+            w.string(ev.name);
+            w.key("cat");
+            w.string(ev.cat);
+            w.key("ph");
+            w.string(ev.ph.code());
+            w.key("ts");
+            w.raw(&us_with_ns_fraction(ev.ts_ns));
+            if ev.ph == Phase::Complete {
+                w.key("dur");
+                w.raw(&us_with_ns_fraction(ev.dur_ns));
+            }
+            if ev.ph == Phase::Instant {
+                // Scope: thread-local tick mark.
+                w.key("s");
+                w.string("t");
+            }
+            w.key("pid");
+            w.number_u64(u64::from(ev.pid));
+            w.key("tid");
+            w.number_u64(u64::from(ev.tid));
+            if let Some((k, v)) = ev.arg {
+                w.key("args");
+                w.begin_object();
+                w.key(k);
+                w.number_u64(v);
+                w.end_object();
+            }
+            w.end_object();
+        }
+        w.end_array();
+        w.key("displayTimeUnit");
+        w.string("ns");
+        w.key("otherData");
+        w.begin_object();
+        w.key("droppedEvents");
+        w.number_u64(self.dropped);
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+}
+
+/// Formats nanoseconds as decimal microseconds with three fractional
+/// digits — the trace_event format's `ts`/`dur` unit.
+fn us_with_ns_fraction(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_balanced_json(s: &str) {
+        // Structural well-formedness: every brace/bracket balances and
+        // quotes pair up outside of escapes.
+        let mut depth_obj = 0i64;
+        let mut depth_arr = 0i64;
+        let mut in_str = false;
+        let mut escaped = false;
+        for c in s.chars() {
+            if in_str {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '{' => depth_obj += 1,
+                '}' => depth_obj -= 1,
+                '[' => depth_arr += 1,
+                ']' => depth_arr -= 1,
+                _ => {}
+            }
+            assert!(depth_obj >= 0 && depth_arr >= 0, "close before open");
+        }
+        assert!(!in_str, "unterminated string");
+        assert_eq!(depth_obj, 0, "unbalanced braces");
+        assert_eq!(depth_arr, 0, "unbalanced brackets");
+    }
+
+    #[test]
+    fn overflow_drops_oldest_first() {
+        let mut t = Tracer::new(3);
+        for i in 0..5u64 {
+            t.instant("e", "test", i * 100, 0, 0, Some(("seq", i)));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let kept: Vec<u64> = t.events().map(|e| e.arg.unwrap().1).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn exporter_emits_well_formed_chrome_json() {
+        let mut t = Tracer::new(64);
+        t.name_process(0, "machine");
+        t.name_thread(0, 1, "guest0 \"vcpu\"");
+        t.span("world_switch", "sched", 1_234, 567, 0, 1, None);
+        t.instant("virq", "irq", 2_000, 0, 2, Some(("vector", 9)));
+        t.counter("txq", 2_500, 0, "depth", 17);
+        let json = t.to_chrome_json();
+        assert_balanced_json(&json);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"ts\":1.234"));
+        assert!(json.contains("\"dur\":0.567"));
+        assert!(json.contains("\"displayTimeUnit\":\"ns\""));
+        assert!(json.contains("\"droppedEvents\":0"));
+        // Metadata label with an embedded quote survives escaping.
+        assert!(json.contains("guest0 \\\"vcpu\\\""));
+    }
+
+    #[test]
+    fn timestamps_are_microseconds_with_ns_precision() {
+        assert_eq!(us_with_ns_fraction(0), "0.000");
+        assert_eq!(us_with_ns_fraction(999), "0.999");
+        assert_eq!(us_with_ns_fraction(1_000), "1.000");
+        assert_eq!(us_with_ns_fraction(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn empty_tracer_exports_empty_array() {
+        let t = Tracer::new(8);
+        let json = t.to_chrome_json();
+        assert_balanced_json(&json);
+        assert!(json.contains("\"traceEvents\":[]"));
+    }
+
+    #[test]
+    fn dropped_count_reaches_export() {
+        let mut t = Tracer::new(1);
+        t.instant("a", "c", 0, 0, 0, None);
+        t.instant("b", "c", 1, 0, 0, None);
+        assert!(t.to_chrome_json().contains("\"droppedEvents\":1"));
+    }
+}

@@ -5,15 +5,23 @@
 //! window and renders the paper's six-column execution profile
 //! (hypervisor / driver-domain user / driver-domain kernel / guest user /
 //! guest kernel / idle).
+//!
+//! Internally the ledger is built on [`cdna_trace::ProfileLedger`], a
+//! time-sliced sampler: every charge lands both in a per-category map
+//! (for [`CpuLedger::charged`]) and in the sampler's per-slice bucket
+//! matrix. Because the sampler stores exact integer nanoseconds, the
+//! aggregate [`CpuLedger::profile`] is bit-identical to the old
+//! unsliced accumulation, while the per-slice samples additionally
+//! provide the idle-over-time curves of Figures 3/4.
 
 use std::collections::HashMap;
 
 use cdna_mem::DomainId;
 use cdna_sim::SimTime;
-use serde::{Deserialize, Serialize};
+use cdna_trace::{ProfileLedger, ProfileSample};
 
 /// Where a slice of CPU time was spent.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ExecCategory {
     /// Inside the hypervisor (interrupt dispatch, hypercalls, page flips,
     /// DMA validation, scheduling).
@@ -25,6 +33,32 @@ pub enum ExecCategory {
     /// Nothing runnable.
     Idle,
 }
+
+/// Sampler bucket indices for the paper's six profile columns.
+mod bucket {
+    pub const HYPERVISOR: usize = 0;
+    pub const DRIVER_KERNEL: usize = 1;
+    pub const DRIVER_USER: usize = 2;
+    pub const GUEST_KERNEL: usize = 3;
+    pub const GUEST_USER: usize = 4;
+    pub const IDLE: usize = 5;
+    pub const COUNT: usize = 6;
+}
+
+fn bucket_of(cat: ExecCategory) -> usize {
+    match cat {
+        ExecCategory::Hypervisor => bucket::HYPERVISOR,
+        ExecCategory::Kernel(d) if d == DomainId::DRIVER => bucket::DRIVER_KERNEL,
+        ExecCategory::User(d) if d == DomainId::DRIVER => bucket::DRIVER_USER,
+        ExecCategory::Kernel(_) => bucket::GUEST_KERNEL,
+        ExecCategory::User(_) => bucket::GUEST_USER,
+        ExecCategory::Idle => bucket::IDLE,
+    }
+}
+
+/// Default sampling slice: 10 simulated milliseconds, fine enough for
+/// the ~1 s measurement windows the experiments use.
+pub const DEFAULT_SLICE_NS: u64 = 10_000_000;
 
 /// The per-category time ledger.
 ///
@@ -44,23 +78,43 @@ pub enum ExecCategory {
 /// assert!((profile.hypervisor_frac - 0.10).abs() < 1e-9);
 /// assert!((profile.idle_frac - 0.50).abs() < 1e-9);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CpuLedger {
     charges: HashMap<ExecCategory, SimTime>,
+    sampler: ProfileLedger,
     window_start: SimTime,
     window_end: Option<SimTime>,
     recording: bool,
 }
 
+impl Default for CpuLedger {
+    fn default() -> Self {
+        CpuLedger::new()
+    }
+}
+
 impl CpuLedger {
-    /// A ledger that ignores charges until a window opens.
+    /// A ledger that ignores charges until a window opens, sampling in
+    /// [`DEFAULT_SLICE_NS`] slices.
     pub fn new() -> Self {
-        CpuLedger::default()
+        CpuLedger::with_slice_ns(DEFAULT_SLICE_NS)
+    }
+
+    /// A ledger with an explicit sampling-slice width.
+    pub fn with_slice_ns(slice_ns: u64) -> Self {
+        CpuLedger {
+            charges: HashMap::new(),
+            sampler: ProfileLedger::new(bucket::COUNT, slice_ns),
+            window_start: SimTime::ZERO,
+            window_end: None,
+            recording: false,
+        }
     }
 
     /// Opens the measurement window (clears previous charges).
     pub fn start_window(&mut self, now: SimTime) {
         self.charges.clear();
+        self.sampler.start_window(now.as_ns());
         self.window_start = now;
         self.window_end = None;
         self.recording = true;
@@ -69,15 +123,26 @@ impl CpuLedger {
     /// Closes the measurement window.
     pub fn close_window(&mut self, now: SimTime) {
         if self.recording {
+            self.sampler.close_window(now.as_ns());
             self.window_end = Some(now);
             self.recording = false;
         }
+    }
+
+    /// Moves the sampler's charge cursor to `now`, so subsequent
+    /// charges land in the sampling slice containing this time. The
+    /// world calls this once per simulation event; it does not affect
+    /// aggregate totals, only how they distribute across slices.
+    #[inline]
+    pub fn advance_to(&mut self, now: SimTime) {
+        self.sampler.advance_to(now.as_ns());
     }
 
     /// Charges `dt` of CPU time to `cat` (ignored outside the window).
     pub fn charge(&mut self, cat: ExecCategory, dt: SimTime) {
         if self.recording && dt > SimTime::ZERO {
             *self.charges.entry(cat).or_insert(SimTime::ZERO) += dt;
+            self.sampler.charge(bucket_of(cat), dt.as_ns());
         }
     }
 
@@ -93,11 +158,26 @@ impl CpuLedger {
 
     /// Busy time (all categories) in the window.
     pub fn total_busy(&self) -> SimTime {
-        self.charges.values().copied().sum()
+        SimTime::from_ns(self.sampler.total_busy())
+    }
+
+    /// The underlying time-sliced sampler (per-slice profile samples
+    /// for the idle-over-time figures).
+    pub fn sampler(&self) -> &ProfileLedger {
+        &self.sampler
+    }
+
+    /// Per-slice samples of the closed window (see
+    /// [`cdna_trace::ProfileLedger::samples`]).
+    pub fn samples(&self) -> Vec<ProfileSample> {
+        self.sampler.samples()
     }
 
     /// Renders the execution profile over the closed window. Idle is the
     /// remainder of the window not charged anywhere.
+    ///
+    /// The fractions are computed from the sampler's exact integer
+    /// totals, so they are identical whatever the slice width.
     ///
     /// A work batch that started before the window closed may charge its
     /// full cost inside it, so up to 1 % overshoot is tolerated (idle
@@ -120,36 +200,21 @@ impl CpuLedger {
             "CPU over-committed: {busy} charged in a {span} window"
         );
 
-        let mut hyp = SimTime::ZERO;
-        let mut driver_kernel = SimTime::ZERO;
-        let mut driver_user = SimTime::ZERO;
-        let mut guest_kernel = SimTime::ZERO;
-        let mut guest_user = SimTime::ZERO;
-        for (&cat, &t) in &self.charges {
-            match cat {
-                ExecCategory::Hypervisor => hyp += t,
-                ExecCategory::Kernel(d) if d == DomainId::DRIVER => driver_kernel += t,
-                ExecCategory::User(d) if d == DomainId::DRIVER => driver_user += t,
-                ExecCategory::Kernel(_) => guest_kernel += t,
-                ExecCategory::User(_) => guest_user += t,
-                ExecCategory::Idle => {}
-            }
-        }
-        let frac = |t: SimTime| t.as_secs_f64() / span_s;
+        let frac = |b: usize| SimTime::from_ns(self.sampler.total(b)).as_secs_f64() / span_s;
         ExecutionProfile {
-            hypervisor_frac: frac(hyp),
-            driver_kernel_frac: frac(driver_kernel),
-            driver_user_frac: frac(driver_user),
-            guest_kernel_frac: frac(guest_kernel),
-            guest_user_frac: frac(guest_user),
-            idle_frac: frac(span.saturating_sub(busy)),
+            hypervisor_frac: frac(bucket::HYPERVISOR),
+            driver_kernel_frac: frac(bucket::DRIVER_KERNEL),
+            driver_user_frac: frac(bucket::DRIVER_USER),
+            guest_kernel_frac: frac(bucket::GUEST_KERNEL),
+            guest_user_frac: frac(bucket::GUEST_USER),
+            idle_frac: span.saturating_sub(busy).as_secs_f64() / span_s,
         }
     }
 }
 
 /// The paper's "Domain Execution Profile" row: fractions of the
 /// measurement window spent in each place (summing to 1).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ExecutionProfile {
     /// Hypervisor time.
     pub hypervisor_frac: f64,
@@ -241,5 +306,40 @@ mod tests {
         l.close_window(SimTime::from_ms(150));
         assert_eq!(l.charged(ExecCategory::Hypervisor), SimTime::ZERO);
         assert!((l.profile().idle_frac - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_partition_the_window() {
+        let mut l = CpuLedger::with_slice_ns(SimTime::from_ms(25).as_ns());
+        l.start_window(SimTime::ZERO);
+        l.advance_to(SimTime::from_ms(5));
+        l.charge(ExecCategory::Hypervisor, SimTime::from_ms(10));
+        l.advance_to(SimTime::from_ms(60));
+        l.charge(
+            ExecCategory::Kernel(DomainId::guest(0)),
+            SimTime::from_ms(20),
+        );
+        l.close_window(SimTime::from_ms(100));
+        let samples = l.samples();
+        assert_eq!(samples.len(), 3); // slices 0, 1, 2 were touched
+        assert_eq!(samples[0].charged_ns[0], SimTime::from_ms(10).as_ns());
+        assert_eq!(samples[2].charged_ns[3], SimTime::from_ms(20).as_ns());
+        // Aggregate profile is unaffected by the slicing.
+        let p = l.profile();
+        assert!((p.hypervisor_frac - 0.10).abs() < 1e-9);
+        assert!((p.guest_kernel_frac - 0.20).abs() < 1e-9);
+        assert!((p.idle_frac - 0.70).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_category_counts_as_busy_but_not_in_fracs() {
+        let mut l = CpuLedger::new();
+        l.start_window(SimTime::ZERO);
+        l.charge(ExecCategory::Idle, SimTime::from_ms(40));
+        l.close_window(SimTime::from_ms(100));
+        assert_eq!(l.total_busy(), SimTime::from_ms(40));
+        let p = l.profile();
+        assert!((p.hypervisor_frac).abs() < 1e-9);
+        assert!((p.idle_frac - 0.60).abs() < 1e-9);
     }
 }

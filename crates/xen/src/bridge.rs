@@ -10,10 +10,9 @@ use std::collections::HashMap;
 
 use cdna_mem::DomainId;
 use cdna_net::MacAddr;
-use serde::{Deserialize, Serialize};
 
 /// Where a bridge port leads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BridgePort {
     /// A guest's backend (vif) interface.
     Frontend(DomainId),
@@ -36,7 +35,7 @@ pub enum BridgePort {
 /// assert_eq!(br.lookup(guest_mac), Some(BridgePort::Frontend(DomainId::guest(0))));
 /// assert_eq!(br.lookup(MacAddr::for_peer(1)), None);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct EthernetBridge {
     table: HashMap<MacAddr, BridgePort>,
     lookups: u64,

@@ -17,7 +17,6 @@ use cdna_core::{
 };
 use cdna_mem::{BufferSlice, DomainId, PageId, PhysMem, PAGE_SIZE};
 use cdna_nic::{DescFlags, DmaDescriptor, FrameMeta, RingId, RingTable};
-use serde::{Deserialize, Serialize};
 
 /// Where a CDNA transmit buffer came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,7 +33,7 @@ pub enum CdnaTxOrigin {
 }
 
 /// Lifetime counters for reports.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CdnaDriverStats {
     /// Enqueue hypercalls issued.
     pub hypercalls: u64,

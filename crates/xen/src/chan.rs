@@ -14,7 +14,6 @@ use std::fmt;
 
 use cdna_mem::{DomainId, MemError, PageId, PhysMem};
 use cdna_net::Frame;
-use serde::{Deserialize, Serialize};
 
 /// A packet crossing the front/back channel: frame metadata plus the
 /// real page holding it.
@@ -27,7 +26,7 @@ pub struct PvPacket {
 }
 
 /// Errors from channel operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChannelError {
     /// The transmit ring is full; the frontend must wait for completions.
     TxRingFull,
@@ -56,7 +55,7 @@ impl From<MemError> for ChannelError {
 }
 
 /// Lifetime counters for reports.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ChannelStats {
     /// Packets pushed front→back.
     pub tx_packets: u64,

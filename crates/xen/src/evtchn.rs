@@ -3,10 +3,9 @@
 use std::collections::HashMap;
 
 use cdna_mem::DomainId;
-use serde::{Deserialize, Serialize};
 
 /// The virtual interrupt lines a domain can receive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum VirtualIrq {
     /// Netfront: the driver domain produced receive packets or transmit
     /// completions for this guest.
@@ -39,7 +38,7 @@ pub enum VirtualIrq {
 /// assert_eq!(ev.collect(dom), vec![VirtualIrq::Cdna]);
 /// assert!(ev.collect(dom).is_empty());
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct EventChannels {
     pending: HashMap<DomainId, Vec<VirtualIrq>>,
     sent: u64,

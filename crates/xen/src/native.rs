@@ -12,7 +12,6 @@ use std::fmt;
 use cdna_mem::{BufferSlice, DomainId, MemError, PageId, PhysMem, PAGE_SIZE};
 use cdna_net::framing;
 use cdna_nic::{DescFlags, DmaDescriptor, FrameMeta, RingError, RingId, RingTable};
-use serde::{Deserialize, Serialize};
 
 /// Where a transmit buffer came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,7 +68,7 @@ impl From<MemError> for DriverError {
 }
 
 /// Lifetime counters for reports.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NativeDriverStats {
     /// Transmit descriptors queued.
     pub tx_queued: u64,

@@ -12,7 +12,6 @@
 use std::collections::VecDeque;
 
 use cdna_mem::DomainId;
-use serde::{Deserialize, Serialize};
 
 /// The runnable queue.
 ///
@@ -30,7 +29,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(rq.pick(), Some(DomainId::guest(1)));
 /// assert_eq!(rq.pick(), None);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RunQueue {
     queue: VecDeque<DomainId>,
     last: Option<DomainId>,

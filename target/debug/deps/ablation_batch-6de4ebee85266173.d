@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_batch-6de4ebee85266173.d: crates/bench/src/bin/ablation_batch.rs
+
+/root/repo/target/debug/deps/ablation_batch-6de4ebee85266173: crates/bench/src/bin/ablation_batch.rs
+
+crates/bench/src/bin/ablation_batch.rs:

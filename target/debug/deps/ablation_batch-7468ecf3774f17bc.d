@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_batch-7468ecf3774f17bc.d: crates/bench/src/bin/ablation_batch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_batch-7468ecf3774f17bc.rmeta: crates/bench/src/bin/ablation_batch.rs Cargo.toml
+
+crates/bench/src/bin/ablation_batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_batch-d50c617aa9a57fe2.d: crates/bench/src/bin/ablation_batch.rs
+
+/root/repo/target/debug/deps/ablation_batch-d50c617aa9a57fe2: crates/bench/src/bin/ablation_batch.rs
+
+crates/bench/src/bin/ablation_batch.rs:

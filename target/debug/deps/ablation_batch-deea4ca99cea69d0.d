@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_batch-deea4ca99cea69d0.d: crates/bench/src/bin/ablation_batch.rs
+
+/root/repo/target/debug/deps/ablation_batch-deea4ca99cea69d0: crates/bench/src/bin/ablation_batch.rs
+
+crates/bench/src/bin/ablation_batch.rs:

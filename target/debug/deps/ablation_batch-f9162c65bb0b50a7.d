@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_batch-f9162c65bb0b50a7.d: crates/bench/src/bin/ablation_batch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_batch-f9162c65bb0b50a7.rmeta: crates/bench/src/bin/ablation_batch.rs Cargo.toml
+
+crates/bench/src/bin/ablation_batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

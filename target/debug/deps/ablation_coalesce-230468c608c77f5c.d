@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_coalesce-230468c608c77f5c.d: crates/bench/src/bin/ablation_coalesce.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_coalesce-230468c608c77f5c.rmeta: crates/bench/src/bin/ablation_coalesce.rs Cargo.toml
+
+crates/bench/src/bin/ablation_coalesce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

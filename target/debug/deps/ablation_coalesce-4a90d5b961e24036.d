@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_coalesce-4a90d5b961e24036.d: crates/bench/src/bin/ablation_coalesce.rs
+
+/root/repo/target/debug/deps/ablation_coalesce-4a90d5b961e24036: crates/bench/src/bin/ablation_coalesce.rs
+
+crates/bench/src/bin/ablation_coalesce.rs:

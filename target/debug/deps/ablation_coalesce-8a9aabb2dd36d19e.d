@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_coalesce-8a9aabb2dd36d19e.d: crates/bench/src/bin/ablation_coalesce.rs
+
+/root/repo/target/debug/deps/ablation_coalesce-8a9aabb2dd36d19e: crates/bench/src/bin/ablation_coalesce.rs
+
+crates/bench/src/bin/ablation_coalesce.rs:

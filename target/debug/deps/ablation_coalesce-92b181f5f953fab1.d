@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_coalesce-92b181f5f953fab1.d: crates/bench/src/bin/ablation_coalesce.rs
+
+/root/repo/target/debug/deps/ablation_coalesce-92b181f5f953fab1: crates/bench/src/bin/ablation_coalesce.rs
+
+crates/bench/src/bin/ablation_coalesce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_coalesce-d5c4071714bc25b6.d: crates/bench/src/bin/ablation_coalesce.rs
+
+/root/repo/target/debug/deps/ablation_coalesce-d5c4071714bc25b6: crates/bench/src/bin/ablation_coalesce.rs
+
+crates/bench/src/bin/ablation_coalesce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_slice-081d4296926a9e87.d: crates/bench/src/bin/ablation_slice.rs
+
+/root/repo/target/debug/deps/ablation_slice-081d4296926a9e87: crates/bench/src/bin/ablation_slice.rs
+
+crates/bench/src/bin/ablation_slice.rs:

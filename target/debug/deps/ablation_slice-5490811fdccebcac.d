@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_slice-5490811fdccebcac.d: crates/bench/src/bin/ablation_slice.rs
+
+/root/repo/target/debug/deps/ablation_slice-5490811fdccebcac: crates/bench/src/bin/ablation_slice.rs
+
+crates/bench/src/bin/ablation_slice.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_slice-c6e4172583da9ce6.d: crates/bench/src/bin/ablation_slice.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_slice-c6e4172583da9ce6.rmeta: crates/bench/src/bin/ablation_slice.rs Cargo.toml
+
+crates/bench/src/bin/ablation_slice.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

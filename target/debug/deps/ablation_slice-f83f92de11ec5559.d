@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_slice-f83f92de11ec5559.d: crates/bench/src/bin/ablation_slice.rs
+
+/root/repo/target/debug/deps/ablation_slice-f83f92de11ec5559: crates/bench/src/bin/ablation_slice.rs
+
+crates/bench/src/bin/ablation_slice.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_slice-fb1fbb66ea216341.d: crates/bench/src/bin/ablation_slice.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_slice-fb1fbb66ea216341.rmeta: crates/bench/src/bin/ablation_slice.rs Cargo.toml
+
+crates/bench/src/bin/ablation_slice.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibrate-1066e7122ae6a812.d: crates/bench/src/bin/calibrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibrate-1066e7122ae6a812.rmeta: crates/bench/src/bin/calibrate.rs Cargo.toml
+
+crates/bench/src/bin/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

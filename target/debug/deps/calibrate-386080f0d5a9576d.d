@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-386080f0d5a9576d.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-386080f0d5a9576d: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

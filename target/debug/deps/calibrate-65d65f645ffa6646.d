@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-65d65f645ffa6646.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-65d65f645ffa6646: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-eadc4a98ed9bada8.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-eadc4a98ed9bada8: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

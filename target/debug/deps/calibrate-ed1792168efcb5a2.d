@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-ed1792168efcb5a2.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-ed1792168efcb5a2: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

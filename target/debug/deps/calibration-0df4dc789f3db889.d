@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibration-0df4dc789f3db889.d: tests/calibration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibration-0df4dc789f3db889.rmeta: tests/calibration.rs Cargo.toml
+
+tests/calibration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

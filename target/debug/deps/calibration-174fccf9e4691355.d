@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibration-174fccf9e4691355.d: tests/calibration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibration-174fccf9e4691355.rmeta: tests/calibration.rs Cargo.toml
+
+tests/calibration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-563bdf61c0ff6d4b.d: tests/calibration.rs
+
+/root/repo/target/debug/deps/calibration-563bdf61c0ff6d4b: tests/calibration.rs
+
+tests/calibration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibration-7cc9f14a475597b3.d: tests/calibration.rs
+
+/root/repo/target/debug/deps/calibration-7cc9f14a475597b3: tests/calibration.rs
+
+tests/calibration.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cdna_bench-788fa6a3a778ebce.d: crates/bench/src/lib.rs crates/bench/src/paper.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcdna_bench-788fa6a3a778ebce.rmeta: crates/bench/src/lib.rs crates/bench/src/paper.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

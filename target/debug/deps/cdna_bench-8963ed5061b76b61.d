@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/cdna_bench-8963ed5061b76b61.d: crates/bench/src/lib.rs crates/bench/src/paper.rs
+
+/root/repo/target/debug/deps/cdna_bench-8963ed5061b76b61: crates/bench/src/lib.rs crates/bench/src/paper.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:

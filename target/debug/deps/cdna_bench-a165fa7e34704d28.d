@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cdna_bench-a165fa7e34704d28.d: crates/bench/src/lib.rs crates/bench/src/paper.rs
+
+/root/repo/target/debug/deps/libcdna_bench-a165fa7e34704d28.rlib: crates/bench/src/lib.rs crates/bench/src/paper.rs
+
+/root/repo/target/debug/deps/libcdna_bench-a165fa7e34704d28.rmeta: crates/bench/src/lib.rs crates/bench/src/paper.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cdna_bench-c44936c629187277.d: crates/bench/src/lib.rs crates/bench/src/paper.rs
+
+/root/repo/target/debug/deps/libcdna_bench-c44936c629187277.rlib: crates/bench/src/lib.rs crates/bench/src/paper.rs
+
+/root/repo/target/debug/deps/libcdna_bench-c44936c629187277.rmeta: crates/bench/src/lib.rs crates/bench/src/paper.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/cdna_bench-cad75022010d583c.d: crates/bench/src/lib.rs crates/bench/src/paper.rs
+
+/root/repo/target/debug/deps/cdna_bench-cad75022010d583c: crates/bench/src/lib.rs crates/bench/src/paper.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/cdna_core-026136d8645b5695.d: crates/core/src/lib.rs crates/core/src/bitvec.rs crates/core/src/context.rs crates/core/src/fault.rs crates/core/src/generic.rs crates/core/src/iommu.rs crates/core/src/layout.rs crates/core/src/protection.rs crates/core/src/seqnum.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcdna_core-026136d8645b5695.rmeta: crates/core/src/lib.rs crates/core/src/bitvec.rs crates/core/src/context.rs crates/core/src/fault.rs crates/core/src/generic.rs crates/core/src/iommu.rs crates/core/src/layout.rs crates/core/src/protection.rs crates/core/src/seqnum.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/bitvec.rs:
+crates/core/src/context.rs:
+crates/core/src/fault.rs:
+crates/core/src/generic.rs:
+crates/core/src/iommu.rs:
+crates/core/src/layout.rs:
+crates/core/src/protection.rs:
+crates/core/src/seqnum.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

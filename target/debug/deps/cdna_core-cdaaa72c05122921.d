@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cdna_core-cdaaa72c05122921.d: crates/core/src/lib.rs crates/core/src/bitvec.rs crates/core/src/context.rs crates/core/src/fault.rs crates/core/src/generic.rs crates/core/src/iommu.rs crates/core/src/layout.rs crates/core/src/protection.rs crates/core/src/seqnum.rs
+
+/root/repo/target/debug/deps/cdna_core-cdaaa72c05122921: crates/core/src/lib.rs crates/core/src/bitvec.rs crates/core/src/context.rs crates/core/src/fault.rs crates/core/src/generic.rs crates/core/src/iommu.rs crates/core/src/layout.rs crates/core/src/protection.rs crates/core/src/seqnum.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bitvec.rs:
+crates/core/src/context.rs:
+crates/core/src/fault.rs:
+crates/core/src/generic.rs:
+crates/core/src/iommu.rs:
+crates/core/src/layout.rs:
+crates/core/src/protection.rs:
+crates/core/src/seqnum.rs:

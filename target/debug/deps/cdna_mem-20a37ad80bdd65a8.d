@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cdna_mem-20a37ad80bdd65a8.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/buffer.rs crates/mem/src/pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcdna_mem-20a37ad80bdd65a8.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/buffer.rs crates/mem/src/pool.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/buffer.rs:
+crates/mem/src/pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

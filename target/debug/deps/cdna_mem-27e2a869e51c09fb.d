@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cdna_mem-27e2a869e51c09fb.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/buffer.rs crates/mem/src/pool.rs
+
+/root/repo/target/debug/deps/libcdna_mem-27e2a869e51c09fb.rlib: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/buffer.rs crates/mem/src/pool.rs
+
+/root/repo/target/debug/deps/libcdna_mem-27e2a869e51c09fb.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/buffer.rs crates/mem/src/pool.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/buffer.rs:
+crates/mem/src/pool.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cdna_mem-453a272aaab102e8.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/buffer.rs crates/mem/src/pool.rs
+
+/root/repo/target/debug/deps/cdna_mem-453a272aaab102e8: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/buffer.rs crates/mem/src/pool.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/buffer.rs:
+crates/mem/src/pool.rs:

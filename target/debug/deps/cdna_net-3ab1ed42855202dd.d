@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cdna_net-3ab1ed42855202dd.d: crates/net/src/lib.rs crates/net/src/frame.rs crates/net/src/framing.rs crates/net/src/mac.rs crates/net/src/pci.rs crates/net/src/wire.rs
+
+/root/repo/target/debug/deps/libcdna_net-3ab1ed42855202dd.rlib: crates/net/src/lib.rs crates/net/src/frame.rs crates/net/src/framing.rs crates/net/src/mac.rs crates/net/src/pci.rs crates/net/src/wire.rs
+
+/root/repo/target/debug/deps/libcdna_net-3ab1ed42855202dd.rmeta: crates/net/src/lib.rs crates/net/src/frame.rs crates/net/src/framing.rs crates/net/src/mac.rs crates/net/src/pci.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/frame.rs:
+crates/net/src/framing.rs:
+crates/net/src/mac.rs:
+crates/net/src/pci.rs:
+crates/net/src/wire.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cdna_net-5ff6441a179afa48.d: crates/net/src/lib.rs crates/net/src/frame.rs crates/net/src/framing.rs crates/net/src/mac.rs crates/net/src/pci.rs crates/net/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcdna_net-5ff6441a179afa48.rmeta: crates/net/src/lib.rs crates/net/src/frame.rs crates/net/src/framing.rs crates/net/src/mac.rs crates/net/src/pci.rs crates/net/src/wire.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/frame.rs:
+crates/net/src/framing.rs:
+crates/net/src/mac.rs:
+crates/net/src/pci.rs:
+crates/net/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

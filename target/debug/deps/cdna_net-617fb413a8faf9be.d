@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cdna_net-617fb413a8faf9be.d: crates/net/src/lib.rs crates/net/src/frame.rs crates/net/src/framing.rs crates/net/src/mac.rs crates/net/src/pci.rs crates/net/src/wire.rs
+
+/root/repo/target/debug/deps/cdna_net-617fb413a8faf9be: crates/net/src/lib.rs crates/net/src/frame.rs crates/net/src/framing.rs crates/net/src/mac.rs crates/net/src/pci.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/frame.rs:
+crates/net/src/framing.rs:
+crates/net/src/mac.rs:
+crates/net/src/pci.rs:
+crates/net/src/wire.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cdna_nic-513f8f87569117fb.d: crates/nic/src/lib.rs crates/nic/src/coalesce.rs crates/nic/src/conventional.rs crates/nic/src/descriptor.rs crates/nic/src/mailbox.rs crates/nic/src/ring.rs
+
+/root/repo/target/debug/deps/libcdna_nic-513f8f87569117fb.rlib: crates/nic/src/lib.rs crates/nic/src/coalesce.rs crates/nic/src/conventional.rs crates/nic/src/descriptor.rs crates/nic/src/mailbox.rs crates/nic/src/ring.rs
+
+/root/repo/target/debug/deps/libcdna_nic-513f8f87569117fb.rmeta: crates/nic/src/lib.rs crates/nic/src/coalesce.rs crates/nic/src/conventional.rs crates/nic/src/descriptor.rs crates/nic/src/mailbox.rs crates/nic/src/ring.rs
+
+crates/nic/src/lib.rs:
+crates/nic/src/coalesce.rs:
+crates/nic/src/conventional.rs:
+crates/nic/src/descriptor.rs:
+crates/nic/src/mailbox.rs:
+crates/nic/src/ring.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cdna_nic-6291c5eea686a8c2.d: crates/nic/src/lib.rs crates/nic/src/coalesce.rs crates/nic/src/conventional.rs crates/nic/src/descriptor.rs crates/nic/src/mailbox.rs crates/nic/src/ring.rs
+
+/root/repo/target/debug/deps/cdna_nic-6291c5eea686a8c2: crates/nic/src/lib.rs crates/nic/src/coalesce.rs crates/nic/src/conventional.rs crates/nic/src/descriptor.rs crates/nic/src/mailbox.rs crates/nic/src/ring.rs
+
+crates/nic/src/lib.rs:
+crates/nic/src/coalesce.rs:
+crates/nic/src/conventional.rs:
+crates/nic/src/descriptor.rs:
+crates/nic/src/mailbox.rs:
+crates/nic/src/ring.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cdna_nic-9de185655233cc47.d: crates/nic/src/lib.rs crates/nic/src/coalesce.rs crates/nic/src/conventional.rs crates/nic/src/descriptor.rs crates/nic/src/mailbox.rs crates/nic/src/ring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcdna_nic-9de185655233cc47.rmeta: crates/nic/src/lib.rs crates/nic/src/coalesce.rs crates/nic/src/conventional.rs crates/nic/src/descriptor.rs crates/nic/src/mailbox.rs crates/nic/src/ring.rs Cargo.toml
+
+crates/nic/src/lib.rs:
+crates/nic/src/coalesce.rs:
+crates/nic/src/conventional.rs:
+crates/nic/src/descriptor.rs:
+crates/nic/src/mailbox.rs:
+crates/nic/src/ring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cdna_repro-2ccb4e2ab9a6daef.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcdna_repro-2ccb4e2ab9a6daef.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcdna_repro-2ccb4e2ab9a6daef.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cdna_repro-5e4cd55e1f3e13a3.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcdna_repro-5e4cd55e1f3e13a3.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

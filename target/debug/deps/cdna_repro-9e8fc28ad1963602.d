@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cdna_repro-9e8fc28ad1963602.d: src/lib.rs
+
+/root/repo/target/debug/deps/cdna_repro-9e8fc28ad1963602: src/lib.rs
+
+src/lib.rs:

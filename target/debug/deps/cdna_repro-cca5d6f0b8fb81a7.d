@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cdna_repro-cca5d6f0b8fb81a7.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcdna_repro-cca5d6f0b8fb81a7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcdna_repro-cca5d6f0b8fb81a7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cdna_repro-d260915910bc9855.d: src/lib.rs
+
+/root/repo/target/debug/deps/cdna_repro-d260915910bc9855: src/lib.rs
+
+src/lib.rs:

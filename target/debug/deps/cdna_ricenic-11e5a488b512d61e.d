@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cdna_ricenic-11e5a488b512d61e.d: crates/ricenic/src/lib.rs crates/ricenic/src/config.rs crates/ricenic/src/device.rs crates/ricenic/src/events.rs
+
+/root/repo/target/debug/deps/cdna_ricenic-11e5a488b512d61e: crates/ricenic/src/lib.rs crates/ricenic/src/config.rs crates/ricenic/src/device.rs crates/ricenic/src/events.rs
+
+crates/ricenic/src/lib.rs:
+crates/ricenic/src/config.rs:
+crates/ricenic/src/device.rs:
+crates/ricenic/src/events.rs:

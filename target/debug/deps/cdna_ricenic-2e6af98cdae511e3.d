@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cdna_ricenic-2e6af98cdae511e3.d: crates/ricenic/src/lib.rs crates/ricenic/src/config.rs crates/ricenic/src/device.rs crates/ricenic/src/events.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcdna_ricenic-2e6af98cdae511e3.rmeta: crates/ricenic/src/lib.rs crates/ricenic/src/config.rs crates/ricenic/src/device.rs crates/ricenic/src/events.rs Cargo.toml
+
+crates/ricenic/src/lib.rs:
+crates/ricenic/src/config.rs:
+crates/ricenic/src/device.rs:
+crates/ricenic/src/events.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/cdna_ricenic-a13c4221e0b94502.d: crates/ricenic/src/lib.rs crates/ricenic/src/config.rs crates/ricenic/src/device.rs crates/ricenic/src/events.rs
+
+/root/repo/target/debug/deps/cdna_ricenic-a13c4221e0b94502: crates/ricenic/src/lib.rs crates/ricenic/src/config.rs crates/ricenic/src/device.rs crates/ricenic/src/events.rs
+
+crates/ricenic/src/lib.rs:
+crates/ricenic/src/config.rs:
+crates/ricenic/src/device.rs:
+crates/ricenic/src/events.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cdna_ricenic-a312575ed5daa78c.d: crates/ricenic/src/lib.rs crates/ricenic/src/config.rs crates/ricenic/src/device.rs crates/ricenic/src/events.rs
+
+/root/repo/target/debug/deps/libcdna_ricenic-a312575ed5daa78c.rlib: crates/ricenic/src/lib.rs crates/ricenic/src/config.rs crates/ricenic/src/device.rs crates/ricenic/src/events.rs
+
+/root/repo/target/debug/deps/libcdna_ricenic-a312575ed5daa78c.rmeta: crates/ricenic/src/lib.rs crates/ricenic/src/config.rs crates/ricenic/src/device.rs crates/ricenic/src/events.rs
+
+crates/ricenic/src/lib.rs:
+crates/ricenic/src/config.rs:
+crates/ricenic/src/device.rs:
+crates/ricenic/src/events.rs:

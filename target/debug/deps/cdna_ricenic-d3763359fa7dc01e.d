@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cdna_ricenic-d3763359fa7dc01e.d: crates/ricenic/src/lib.rs crates/ricenic/src/config.rs crates/ricenic/src/device.rs crates/ricenic/src/events.rs
+
+/root/repo/target/debug/deps/libcdna_ricenic-d3763359fa7dc01e.rlib: crates/ricenic/src/lib.rs crates/ricenic/src/config.rs crates/ricenic/src/device.rs crates/ricenic/src/events.rs
+
+/root/repo/target/debug/deps/libcdna_ricenic-d3763359fa7dc01e.rmeta: crates/ricenic/src/lib.rs crates/ricenic/src/config.rs crates/ricenic/src/device.rs crates/ricenic/src/events.rs
+
+crates/ricenic/src/lib.rs:
+crates/ricenic/src/config.rs:
+crates/ricenic/src/device.rs:
+crates/ricenic/src/events.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/cdna_system-565533b3e66110c7.d: crates/system/src/lib.rs crates/system/src/config.rs crates/system/src/costs.rs crates/system/src/report.rs crates/system/src/testbed.rs crates/system/src/workload.rs crates/system/src/world.rs
+
+/root/repo/target/debug/deps/libcdna_system-565533b3e66110c7.rlib: crates/system/src/lib.rs crates/system/src/config.rs crates/system/src/costs.rs crates/system/src/report.rs crates/system/src/testbed.rs crates/system/src/workload.rs crates/system/src/world.rs
+
+/root/repo/target/debug/deps/libcdna_system-565533b3e66110c7.rmeta: crates/system/src/lib.rs crates/system/src/config.rs crates/system/src/costs.rs crates/system/src/report.rs crates/system/src/testbed.rs crates/system/src/workload.rs crates/system/src/world.rs
+
+crates/system/src/lib.rs:
+crates/system/src/config.rs:
+crates/system/src/costs.rs:
+crates/system/src/report.rs:
+crates/system/src/testbed.rs:
+crates/system/src/workload.rs:
+crates/system/src/world.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/cdna_system-9face77e3adfd088.d: crates/system/src/lib.rs crates/system/src/config.rs crates/system/src/costs.rs crates/system/src/report.rs crates/system/src/testbed.rs crates/system/src/workload.rs crates/system/src/world.rs
+
+/root/repo/target/debug/deps/cdna_system-9face77e3adfd088: crates/system/src/lib.rs crates/system/src/config.rs crates/system/src/costs.rs crates/system/src/report.rs crates/system/src/testbed.rs crates/system/src/workload.rs crates/system/src/world.rs
+
+crates/system/src/lib.rs:
+crates/system/src/config.rs:
+crates/system/src/costs.rs:
+crates/system/src/report.rs:
+crates/system/src/testbed.rs:
+crates/system/src/workload.rs:
+crates/system/src/world.rs:

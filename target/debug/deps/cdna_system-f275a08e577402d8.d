@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/cdna_system-f275a08e577402d8.d: crates/system/src/lib.rs crates/system/src/config.rs crates/system/src/costs.rs crates/system/src/report.rs crates/system/src/testbed.rs crates/system/src/workload.rs crates/system/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcdna_system-f275a08e577402d8.rmeta: crates/system/src/lib.rs crates/system/src/config.rs crates/system/src/costs.rs crates/system/src/report.rs crates/system/src/testbed.rs crates/system/src/workload.rs crates/system/src/world.rs Cargo.toml
+
+crates/system/src/lib.rs:
+crates/system/src/config.rs:
+crates/system/src/costs.rs:
+crates/system/src/report.rs:
+crates/system/src/testbed.rs:
+crates/system/src/workload.rs:
+crates/system/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

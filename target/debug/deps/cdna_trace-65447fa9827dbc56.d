@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cdna_trace-65447fa9827dbc56.d: crates/trace/src/lib.rs crates/trace/src/json.rs crates/trace/src/histogram.rs crates/trace/src/profile.rs crates/trace/src/registry.rs crates/trace/src/tracer.rs
+
+/root/repo/target/debug/deps/libcdna_trace-65447fa9827dbc56.rlib: crates/trace/src/lib.rs crates/trace/src/json.rs crates/trace/src/histogram.rs crates/trace/src/profile.rs crates/trace/src/registry.rs crates/trace/src/tracer.rs
+
+/root/repo/target/debug/deps/libcdna_trace-65447fa9827dbc56.rmeta: crates/trace/src/lib.rs crates/trace/src/json.rs crates/trace/src/histogram.rs crates/trace/src/profile.rs crates/trace/src/registry.rs crates/trace/src/tracer.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/json.rs:
+crates/trace/src/histogram.rs:
+crates/trace/src/profile.rs:
+crates/trace/src/registry.rs:
+crates/trace/src/tracer.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cdna_trace-aa78b4ad94b15456.d: crates/trace/src/lib.rs crates/trace/src/json.rs crates/trace/src/histogram.rs crates/trace/src/profile.rs crates/trace/src/registry.rs crates/trace/src/tracer.rs
+
+/root/repo/target/debug/deps/cdna_trace-aa78b4ad94b15456: crates/trace/src/lib.rs crates/trace/src/json.rs crates/trace/src/histogram.rs crates/trace/src/profile.rs crates/trace/src/registry.rs crates/trace/src/tracer.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/json.rs:
+crates/trace/src/histogram.rs:
+crates/trace/src/profile.rs:
+crates/trace/src/registry.rs:
+crates/trace/src/tracer.rs:

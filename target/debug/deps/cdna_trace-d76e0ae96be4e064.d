@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cdna_trace-d76e0ae96be4e064.d: crates/trace/src/lib.rs crates/trace/src/json.rs crates/trace/src/histogram.rs crates/trace/src/profile.rs crates/trace/src/registry.rs crates/trace/src/tracer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcdna_trace-d76e0ae96be4e064.rmeta: crates/trace/src/lib.rs crates/trace/src/json.rs crates/trace/src/histogram.rs crates/trace/src/profile.rs crates/trace/src/registry.rs crates/trace/src/tracer.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/json.rs:
+crates/trace/src/histogram.rs:
+crates/trace/src/profile.rs:
+crates/trace/src/registry.rs:
+crates/trace/src/tracer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

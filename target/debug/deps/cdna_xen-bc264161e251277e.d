@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/cdna_xen-bc264161e251277e.d: crates/xen/src/lib.rs crates/xen/src/accounting.rs crates/xen/src/bridge.rs crates/xen/src/cdna_driver.rs crates/xen/src/chan.rs crates/xen/src/evtchn.rs crates/xen/src/native.rs crates/xen/src/sched.rs
+
+/root/repo/target/debug/deps/cdna_xen-bc264161e251277e: crates/xen/src/lib.rs crates/xen/src/accounting.rs crates/xen/src/bridge.rs crates/xen/src/cdna_driver.rs crates/xen/src/chan.rs crates/xen/src/evtchn.rs crates/xen/src/native.rs crates/xen/src/sched.rs
+
+crates/xen/src/lib.rs:
+crates/xen/src/accounting.rs:
+crates/xen/src/bridge.rs:
+crates/xen/src/cdna_driver.rs:
+crates/xen/src/chan.rs:
+crates/xen/src/evtchn.rs:
+crates/xen/src/native.rs:
+crates/xen/src/sched.rs:

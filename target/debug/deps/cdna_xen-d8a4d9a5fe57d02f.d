@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/cdna_xen-d8a4d9a5fe57d02f.d: crates/xen/src/lib.rs crates/xen/src/accounting.rs crates/xen/src/bridge.rs crates/xen/src/cdna_driver.rs crates/xen/src/chan.rs crates/xen/src/evtchn.rs crates/xen/src/native.rs crates/xen/src/sched.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcdna_xen-d8a4d9a5fe57d02f.rmeta: crates/xen/src/lib.rs crates/xen/src/accounting.rs crates/xen/src/bridge.rs crates/xen/src/cdna_driver.rs crates/xen/src/chan.rs crates/xen/src/evtchn.rs crates/xen/src/native.rs crates/xen/src/sched.rs Cargo.toml
+
+crates/xen/src/lib.rs:
+crates/xen/src/accounting.rs:
+crates/xen/src/bridge.rs:
+crates/xen/src/cdna_driver.rs:
+crates/xen/src/chan.rs:
+crates/xen/src/evtchn.rs:
+crates/xen/src/native.rs:
+crates/xen/src/sched.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/cdna_xen-e048cbaeb0d94def.d: crates/xen/src/lib.rs crates/xen/src/accounting.rs crates/xen/src/bridge.rs crates/xen/src/cdna_driver.rs crates/xen/src/chan.rs crates/xen/src/evtchn.rs crates/xen/src/native.rs crates/xen/src/sched.rs
+
+/root/repo/target/debug/deps/libcdna_xen-e048cbaeb0d94def.rlib: crates/xen/src/lib.rs crates/xen/src/accounting.rs crates/xen/src/bridge.rs crates/xen/src/cdna_driver.rs crates/xen/src/chan.rs crates/xen/src/evtchn.rs crates/xen/src/native.rs crates/xen/src/sched.rs
+
+/root/repo/target/debug/deps/libcdna_xen-e048cbaeb0d94def.rmeta: crates/xen/src/lib.rs crates/xen/src/accounting.rs crates/xen/src/bridge.rs crates/xen/src/cdna_driver.rs crates/xen/src/chan.rs crates/xen/src/evtchn.rs crates/xen/src/native.rs crates/xen/src/sched.rs
+
+crates/xen/src/lib.rs:
+crates/xen/src/accounting.rs:
+crates/xen/src/bridge.rs:
+crates/xen/src/cdna_driver.rs:
+crates/xen/src/chan.rs:
+crates/xen/src/evtchn.rs:
+crates/xen/src/native.rs:
+crates/xen/src/sched.rs:

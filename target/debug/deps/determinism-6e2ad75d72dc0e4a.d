@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-6e2ad75d72dc0e4a.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-6e2ad75d72dc0e4a: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-c8c8f570115403c9.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-c8c8f570115403c9: tests/determinism.rs
+
+tests/determinism.rs:

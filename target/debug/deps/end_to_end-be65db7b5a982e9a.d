@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-be65db7b5a982e9a.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-be65db7b5a982e9a: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-cb601b4b6dca8991.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-cb601b4b6dca8991: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fairness-614fcea774a9c608.d: crates/ricenic/tests/fairness.rs
+
+/root/repo/target/debug/deps/fairness-614fcea774a9c608: crates/ricenic/tests/fairness.rs
+
+crates/ricenic/tests/fairness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fairness-aa416ac0a92aeab4.d: crates/ricenic/tests/fairness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfairness-aa416ac0a92aeab4.rmeta: crates/ricenic/tests/fairness.rs Cargo.toml
+
+crates/ricenic/tests/fairness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

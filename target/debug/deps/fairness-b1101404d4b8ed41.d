@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fairness-b1101404d4b8ed41.d: crates/ricenic/tests/fairness.rs
+
+/root/repo/target/debug/deps/fairness-b1101404d4b8ed41: crates/ricenic/tests/fairness.rs
+
+crates/ricenic/tests/fairness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-12152b78b0fdba34.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-12152b78b0fdba34: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

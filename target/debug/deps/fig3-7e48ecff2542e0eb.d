@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-7e48ecff2542e0eb.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-7e48ecff2542e0eb: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-fb2ee7f4254f2fb5.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-fb2ee7f4254f2fb5: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

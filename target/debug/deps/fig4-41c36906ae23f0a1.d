@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-41c36906ae23f0a1.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-41c36906ae23f0a1: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

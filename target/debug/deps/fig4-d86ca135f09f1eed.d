@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-d86ca135f09f1eed.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-d86ca135f09f1eed: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

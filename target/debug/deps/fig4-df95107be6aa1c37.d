@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-df95107be6aa1c37.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-df95107be6aa1c37: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-1e965d76dc499343.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-1e965d76dc499343: tests/invariants.rs
+
+tests/invariants.rs:

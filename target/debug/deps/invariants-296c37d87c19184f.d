@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-296c37d87c19184f.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-296c37d87c19184f: tests/invariants.rs
+
+tests/invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-9076865b689e4e72.d: tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-9076865b689e4e72.rmeta: tests/invariants.rs Cargo.toml
+
+tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

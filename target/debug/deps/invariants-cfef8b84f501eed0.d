@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-cfef8b84f501eed0.d: tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-cfef8b84f501eed0.rmeta: tests/invariants.rs Cargo.toml
+
+tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

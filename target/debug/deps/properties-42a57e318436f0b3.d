@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-42a57e318436f0b3.d: crates/net/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-42a57e318436f0b3: crates/net/tests/properties.rs
+
+crates/net/tests/properties.rs:

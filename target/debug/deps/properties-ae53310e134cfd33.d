@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-ae53310e134cfd33.d: crates/nic/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-ae53310e134cfd33: crates/nic/tests/properties.rs
+
+crates/nic/tests/properties.rs:

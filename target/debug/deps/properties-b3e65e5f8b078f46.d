@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b3e65e5f8b078f46.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b3e65e5f8b078f46: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

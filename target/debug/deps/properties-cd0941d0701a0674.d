@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-cd0941d0701a0674.d: crates/nic/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-cd0941d0701a0674.rmeta: crates/nic/tests/properties.rs Cargo.toml
+
+crates/nic/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

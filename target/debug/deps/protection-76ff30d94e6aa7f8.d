@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protection-76ff30d94e6aa7f8.d: tests/protection.rs
+
+/root/repo/target/debug/deps/protection-76ff30d94e6aa7f8: tests/protection.rs
+
+tests/protection.rs:

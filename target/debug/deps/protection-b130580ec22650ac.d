@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protection-b130580ec22650ac.d: tests/protection.rs
+
+/root/repo/target/debug/deps/protection-b130580ec22650ac: tests/protection.rs
+
+tests/protection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protection-f5901d86561391c5.d: tests/protection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotection-f5901d86561391c5.rmeta: tests/protection.rs Cargo.toml
+
+tests/protection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

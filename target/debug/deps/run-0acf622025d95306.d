@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/run-0acf622025d95306.d: crates/bench/src/bin/run.rs Cargo.toml
+
+/root/repo/target/debug/deps/librun-0acf622025d95306.rmeta: crates/bench/src/bin/run.rs Cargo.toml
+
+crates/bench/src/bin/run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

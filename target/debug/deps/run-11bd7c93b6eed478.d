@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run-11bd7c93b6eed478.d: crates/bench/src/bin/run.rs
+
+/root/repo/target/debug/deps/run-11bd7c93b6eed478: crates/bench/src/bin/run.rs
+
+crates/bench/src/bin/run.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/run-2b9a5189817345ca.d: crates/bench/src/bin/run.rs Cargo.toml
+
+/root/repo/target/debug/deps/librun-2b9a5189817345ca.rmeta: crates/bench/src/bin/run.rs Cargo.toml
+
+crates/bench/src/bin/run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/run-44c5b9649130f678.d: crates/bench/src/bin/run.rs Cargo.toml
+
+/root/repo/target/debug/deps/librun-44c5b9649130f678.rmeta: crates/bench/src/bin/run.rs Cargo.toml
+
+crates/bench/src/bin/run.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run-9cb503b24f11d60a.d: crates/bench/src/bin/run.rs
+
+/root/repo/target/debug/deps/run-9cb503b24f11d60a: crates/bench/src/bin/run.rs
+
+crates/bench/src/bin/run.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run-b69f1078b442d9e8.d: crates/bench/src/bin/run.rs
+
+/root/repo/target/debug/deps/run-b69f1078b442d9e8: crates/bench/src/bin/run.rs
+
+crates/bench/src/bin/run.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/run-e7e15047c7709ba1.d: crates/bench/src/bin/run.rs
+
+/root/repo/target/debug/deps/run-e7e15047c7709ba1: crates/bench/src/bin/run.rs
+
+crates/bench/src/bin/run.rs:

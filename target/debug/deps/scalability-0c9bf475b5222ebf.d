@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalability-0c9bf475b5222ebf.d: tests/scalability.rs
+
+/root/repo/target/debug/deps/scalability-0c9bf475b5222ebf: tests/scalability.rs
+
+tests/scalability.rs:

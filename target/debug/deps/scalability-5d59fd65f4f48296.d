@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scalability-5d59fd65f4f48296.d: tests/scalability.rs
+
+/root/repo/target/debug/deps/scalability-5d59fd65f4f48296: tests/scalability.rs
+
+tests/scalability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scalability-7dc9768ba2af9a2d.d: tests/scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalability-7dc9768ba2af9a2d.rmeta: tests/scalability.rs Cargo.toml
+
+tests/scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scalability-86d8c130b41485ee.d: tests/scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscalability-86d8c130b41485ee.rmeta: tests/scalability.rs Cargo.toml
+
+tests/scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sensitivity-6548323bff4a1d9a.d: crates/bench/src/bin/sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsensitivity-6548323bff4a1d9a.rmeta: crates/bench/src/bin/sensitivity.rs Cargo.toml
+
+crates/bench/src/bin/sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

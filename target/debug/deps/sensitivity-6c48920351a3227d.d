@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensitivity-6c48920351a3227d.d: crates/bench/src/bin/sensitivity.rs
+
+/root/repo/target/debug/deps/sensitivity-6c48920351a3227d: crates/bench/src/bin/sensitivity.rs
+
+crates/bench/src/bin/sensitivity.rs:

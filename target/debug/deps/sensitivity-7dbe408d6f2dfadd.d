@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensitivity-7dbe408d6f2dfadd.d: crates/bench/src/bin/sensitivity.rs
+
+/root/repo/target/debug/deps/sensitivity-7dbe408d6f2dfadd: crates/bench/src/bin/sensitivity.rs
+
+crates/bench/src/bin/sensitivity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sensitivity-8d11914afef32ca3.d: crates/bench/src/bin/sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsensitivity-8d11914afef32ca3.rmeta: crates/bench/src/bin/sensitivity.rs Cargo.toml
+
+crates/bench/src/bin/sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sensitivity-be903b24a69d1a86.d: crates/bench/src/bin/sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsensitivity-be903b24a69d1a86.rmeta: crates/bench/src/bin/sensitivity.rs Cargo.toml
+
+crates/bench/src/bin/sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

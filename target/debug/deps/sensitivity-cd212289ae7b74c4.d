@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sensitivity-cd212289ae7b74c4.d: crates/bench/src/bin/sensitivity.rs
+
+/root/repo/target/debug/deps/sensitivity-cd212289ae7b74c4: crates/bench/src/bin/sensitivity.rs
+
+crates/bench/src/bin/sensitivity.rs:

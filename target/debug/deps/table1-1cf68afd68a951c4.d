@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-1cf68afd68a951c4.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-1cf68afd68a951c4: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

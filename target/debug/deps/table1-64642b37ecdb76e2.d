@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-64642b37ecdb76e2.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-64642b37ecdb76e2: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

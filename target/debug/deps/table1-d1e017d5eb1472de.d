@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-d1e017d5eb1472de.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-d1e017d5eb1472de: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-3bf51920eeecc12b.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-3bf51920eeecc12b: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

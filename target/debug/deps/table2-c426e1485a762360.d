@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-c426e1485a762360.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-c426e1485a762360: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

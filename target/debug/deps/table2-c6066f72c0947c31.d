@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-c6066f72c0947c31.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-c6066f72c0947c31: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

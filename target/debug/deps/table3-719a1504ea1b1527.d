@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-719a1504ea1b1527.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-719a1504ea1b1527: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-b14142fbb9c0609b.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-b14142fbb9c0609b: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-c9fc4b09fa172398.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-c9fc4b09fa172398: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

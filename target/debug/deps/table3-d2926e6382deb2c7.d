@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-d2926e6382deb2c7.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-d2926e6382deb2c7: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

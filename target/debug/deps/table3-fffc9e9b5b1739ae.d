@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3-fffc9e9b5b1739ae.d: crates/bench/src/bin/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3-fffc9e9b5b1739ae.rmeta: crates/bench/src/bin/table3.rs Cargo.toml
+
+crates/bench/src/bin/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

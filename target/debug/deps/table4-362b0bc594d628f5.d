@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-362b0bc594d628f5.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-362b0bc594d628f5: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

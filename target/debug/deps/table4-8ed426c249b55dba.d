@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4-8ed426c249b55dba.d: crates/bench/src/bin/table4.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4-8ed426c249b55dba.rmeta: crates/bench/src/bin/table4.rs Cargo.toml
+
+crates/bench/src/bin/table4.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

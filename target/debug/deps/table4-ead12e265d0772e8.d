@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-ead12e265d0772e8.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-ead12e265d0772e8: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/whatif_more_nics-13366bf19c2cd520.d: crates/bench/src/bin/whatif_more_nics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwhatif_more_nics-13366bf19c2cd520.rmeta: crates/bench/src/bin/whatif_more_nics.rs Cargo.toml
+
+crates/bench/src/bin/whatif_more_nics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

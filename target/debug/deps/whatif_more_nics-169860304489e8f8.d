@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/whatif_more_nics-169860304489e8f8.d: crates/bench/src/bin/whatif_more_nics.rs
+
+/root/repo/target/debug/deps/whatif_more_nics-169860304489e8f8: crates/bench/src/bin/whatif_more_nics.rs
+
+crates/bench/src/bin/whatif_more_nics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/whatif_more_nics-c6da85fe8f8a4dac.d: crates/bench/src/bin/whatif_more_nics.rs
+
+/root/repo/target/debug/deps/whatif_more_nics-c6da85fe8f8a4dac: crates/bench/src/bin/whatif_more_nics.rs
+
+crates/bench/src/bin/whatif_more_nics.rs:

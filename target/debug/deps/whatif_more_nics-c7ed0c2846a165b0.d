@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/whatif_more_nics-c7ed0c2846a165b0.d: crates/bench/src/bin/whatif_more_nics.rs
+
+/root/repo/target/debug/deps/whatif_more_nics-c7ed0c2846a165b0: crates/bench/src/bin/whatif_more_nics.rs
+
+crates/bench/src/bin/whatif_more_nics.rs:

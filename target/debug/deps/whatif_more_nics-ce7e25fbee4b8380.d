@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/whatif_more_nics-ce7e25fbee4b8380.d: crates/bench/src/bin/whatif_more_nics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwhatif_more_nics-ce7e25fbee4b8380.rmeta: crates/bench/src/bin/whatif_more_nics.rs Cargo.toml
+
+crates/bench/src/bin/whatif_more_nics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

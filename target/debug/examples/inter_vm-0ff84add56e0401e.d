@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/inter_vm-0ff84add56e0401e.d: examples/inter_vm.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinter_vm-0ff84add56e0401e.rmeta: examples/inter_vm.rs Cargo.toml
+
+examples/inter_vm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

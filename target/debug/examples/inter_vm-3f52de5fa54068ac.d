@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/inter_vm-3f52de5fa54068ac.d: examples/inter_vm.rs
+
+/root/repo/target/debug/examples/inter_vm-3f52de5fa54068ac: examples/inter_vm.rs
+
+examples/inter_vm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/inter_vm-8af0f0de2977dfa9.d: examples/inter_vm.rs
+
+/root/repo/target/debug/examples/inter_vm-8af0f0de2977dfa9: examples/inter_vm.rs
+
+examples/inter_vm.rs:

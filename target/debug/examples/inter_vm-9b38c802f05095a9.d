@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/inter_vm-9b38c802f05095a9.d: examples/inter_vm.rs Cargo.toml
+
+/root/repo/target/debug/examples/libinter_vm-9b38c802f05095a9.rmeta: examples/inter_vm.rs Cargo.toml
+
+examples/inter_vm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/iommu_comparison-1abe936460277d20.d: examples/iommu_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libiommu_comparison-1abe936460277d20.rmeta: examples/iommu_comparison.rs Cargo.toml
+
+examples/iommu_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

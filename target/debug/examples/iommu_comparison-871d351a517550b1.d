@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/iommu_comparison-871d351a517550b1.d: examples/iommu_comparison.rs
+
+/root/repo/target/debug/examples/iommu_comparison-871d351a517550b1: examples/iommu_comparison.rs
+
+examples/iommu_comparison.rs:

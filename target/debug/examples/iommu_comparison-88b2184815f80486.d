@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/iommu_comparison-88b2184815f80486.d: examples/iommu_comparison.rs
+
+/root/repo/target/debug/examples/iommu_comparison-88b2184815f80486: examples/iommu_comparison.rs
+
+examples/iommu_comparison.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protection_demo-0b2cbb0f17883201.d: examples/protection_demo.rs
+
+/root/repo/target/debug/examples/protection_demo-0b2cbb0f17883201: examples/protection_demo.rs
+
+examples/protection_demo.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/protection_demo-7a472fa55e43d6d2.d: examples/protection_demo.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprotection_demo-7a472fa55e43d6d2.rmeta: examples/protection_demo.rs Cargo.toml
+
+examples/protection_demo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protection_demo-a4a05c2826767b26.d: examples/protection_demo.rs
+
+/root/repo/target/debug/examples/protection_demo-a4a05c2826767b26: examples/protection_demo.rs
+
+examples/protection_demo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0a67a304212f637e.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0a67a304212f637e: examples/quickstart.rs
+
+examples/quickstart.rs:

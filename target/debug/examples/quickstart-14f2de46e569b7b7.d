@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-14f2de46e569b7b7.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-14f2de46e569b7b7: examples/quickstart.rs
+
+examples/quickstart.rs:

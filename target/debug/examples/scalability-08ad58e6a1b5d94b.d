@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scalability-08ad58e6a1b5d94b.d: examples/scalability.rs
+
+/root/repo/target/debug/examples/scalability-08ad58e6a1b5d94b: examples/scalability.rs
+
+examples/scalability.rs:

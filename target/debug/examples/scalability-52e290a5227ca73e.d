@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scalability-52e290a5227ca73e.d: examples/scalability.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscalability-52e290a5227ca73e.rmeta: examples/scalability.rs Cargo.toml
+
+examples/scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scalability-f3081e1168d8b156.d: examples/scalability.rs
+
+/root/repo/target/debug/examples/scalability-f3081e1168d8b156: examples/scalability.rs
+
+examples/scalability.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libcdna_mem.rlib: /root/repo/crates/mem/src/addr.rs /root/repo/crates/mem/src/buffer.rs /root/repo/crates/mem/src/lib.rs /root/repo/crates/mem/src/pool.rs

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/cdna_bench-37d31f1fcf8da998.d: crates/bench/src/lib.rs crates/bench/src/paper.rs
+
+/root/repo/target/release/deps/libcdna_bench-37d31f1fcf8da998.rlib: crates/bench/src/lib.rs crates/bench/src/paper.rs
+
+/root/repo/target/release/deps/libcdna_bench-37d31f1fcf8da998.rmeta: crates/bench/src/lib.rs crates/bench/src/paper.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cdna_mem-73ab5e89c6a17f91.d: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/buffer.rs crates/mem/src/pool.rs
+
+/root/repo/target/release/deps/libcdna_mem-73ab5e89c6a17f91.rlib: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/buffer.rs crates/mem/src/pool.rs
+
+/root/repo/target/release/deps/libcdna_mem-73ab5e89c6a17f91.rmeta: crates/mem/src/lib.rs crates/mem/src/addr.rs crates/mem/src/buffer.rs crates/mem/src/pool.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/addr.rs:
+crates/mem/src/buffer.rs:
+crates/mem/src/pool.rs:

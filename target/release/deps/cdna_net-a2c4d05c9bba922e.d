@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cdna_net-a2c4d05c9bba922e.d: crates/net/src/lib.rs crates/net/src/frame.rs crates/net/src/framing.rs crates/net/src/mac.rs crates/net/src/pci.rs crates/net/src/wire.rs
+
+/root/repo/target/release/deps/libcdna_net-a2c4d05c9bba922e.rlib: crates/net/src/lib.rs crates/net/src/frame.rs crates/net/src/framing.rs crates/net/src/mac.rs crates/net/src/pci.rs crates/net/src/wire.rs
+
+/root/repo/target/release/deps/libcdna_net-a2c4d05c9bba922e.rmeta: crates/net/src/lib.rs crates/net/src/frame.rs crates/net/src/framing.rs crates/net/src/mac.rs crates/net/src/pci.rs crates/net/src/wire.rs
+
+crates/net/src/lib.rs:
+crates/net/src/frame.rs:
+crates/net/src/framing.rs:
+crates/net/src/mac.rs:
+crates/net/src/pci.rs:
+crates/net/src/wire.rs:

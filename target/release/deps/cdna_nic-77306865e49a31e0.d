@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cdna_nic-77306865e49a31e0.d: crates/nic/src/lib.rs crates/nic/src/coalesce.rs crates/nic/src/conventional.rs crates/nic/src/descriptor.rs crates/nic/src/mailbox.rs crates/nic/src/ring.rs
+
+/root/repo/target/release/deps/libcdna_nic-77306865e49a31e0.rlib: crates/nic/src/lib.rs crates/nic/src/coalesce.rs crates/nic/src/conventional.rs crates/nic/src/descriptor.rs crates/nic/src/mailbox.rs crates/nic/src/ring.rs
+
+/root/repo/target/release/deps/libcdna_nic-77306865e49a31e0.rmeta: crates/nic/src/lib.rs crates/nic/src/coalesce.rs crates/nic/src/conventional.rs crates/nic/src/descriptor.rs crates/nic/src/mailbox.rs crates/nic/src/ring.rs
+
+crates/nic/src/lib.rs:
+crates/nic/src/coalesce.rs:
+crates/nic/src/conventional.rs:
+crates/nic/src/descriptor.rs:
+crates/nic/src/mailbox.rs:
+crates/nic/src/ring.rs:

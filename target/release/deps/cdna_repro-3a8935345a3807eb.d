@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/cdna_repro-3a8935345a3807eb.d: src/lib.rs
+
+/root/repo/target/release/deps/libcdna_repro-3a8935345a3807eb.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcdna_repro-3a8935345a3807eb.rmeta: src/lib.rs
+
+src/lib.rs:

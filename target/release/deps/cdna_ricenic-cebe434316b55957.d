@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/cdna_ricenic-cebe434316b55957.d: crates/ricenic/src/lib.rs crates/ricenic/src/config.rs crates/ricenic/src/device.rs crates/ricenic/src/events.rs
+
+/root/repo/target/release/deps/libcdna_ricenic-cebe434316b55957.rlib: crates/ricenic/src/lib.rs crates/ricenic/src/config.rs crates/ricenic/src/device.rs crates/ricenic/src/events.rs
+
+/root/repo/target/release/deps/libcdna_ricenic-cebe434316b55957.rmeta: crates/ricenic/src/lib.rs crates/ricenic/src/config.rs crates/ricenic/src/device.rs crates/ricenic/src/events.rs
+
+crates/ricenic/src/lib.rs:
+crates/ricenic/src/config.rs:
+crates/ricenic/src/device.rs:
+crates/ricenic/src/events.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/cdna_sim-212614346bb8d398.d: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libcdna_sim-212614346bb8d398.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+/root/repo/target/release/deps/libcdna_sim-212614346bb8d398.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/time.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/time.rs:

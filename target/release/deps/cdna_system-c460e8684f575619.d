@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/cdna_system-c460e8684f575619.d: crates/system/src/lib.rs crates/system/src/config.rs crates/system/src/costs.rs crates/system/src/report.rs crates/system/src/testbed.rs crates/system/src/workload.rs crates/system/src/world.rs
+
+/root/repo/target/release/deps/libcdna_system-c460e8684f575619.rlib: crates/system/src/lib.rs crates/system/src/config.rs crates/system/src/costs.rs crates/system/src/report.rs crates/system/src/testbed.rs crates/system/src/workload.rs crates/system/src/world.rs
+
+/root/repo/target/release/deps/libcdna_system-c460e8684f575619.rmeta: crates/system/src/lib.rs crates/system/src/config.rs crates/system/src/costs.rs crates/system/src/report.rs crates/system/src/testbed.rs crates/system/src/workload.rs crates/system/src/world.rs
+
+crates/system/src/lib.rs:
+crates/system/src/config.rs:
+crates/system/src/costs.rs:
+crates/system/src/report.rs:
+crates/system/src/testbed.rs:
+crates/system/src/workload.rs:
+crates/system/src/world.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/cdna_trace-1918223e89fb6d02.d: crates/trace/src/lib.rs crates/trace/src/json.rs crates/trace/src/histogram.rs crates/trace/src/profile.rs crates/trace/src/registry.rs crates/trace/src/tracer.rs
+
+/root/repo/target/release/deps/libcdna_trace-1918223e89fb6d02.rlib: crates/trace/src/lib.rs crates/trace/src/json.rs crates/trace/src/histogram.rs crates/trace/src/profile.rs crates/trace/src/registry.rs crates/trace/src/tracer.rs
+
+/root/repo/target/release/deps/libcdna_trace-1918223e89fb6d02.rmeta: crates/trace/src/lib.rs crates/trace/src/json.rs crates/trace/src/histogram.rs crates/trace/src/profile.rs crates/trace/src/registry.rs crates/trace/src/tracer.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/json.rs:
+crates/trace/src/histogram.rs:
+crates/trace/src/profile.rs:
+crates/trace/src/registry.rs:
+crates/trace/src/tracer.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/cdna_xen-47a3aabafb47d344.d: crates/xen/src/lib.rs crates/xen/src/accounting.rs crates/xen/src/bridge.rs crates/xen/src/cdna_driver.rs crates/xen/src/chan.rs crates/xen/src/evtchn.rs crates/xen/src/native.rs crates/xen/src/sched.rs
+
+/root/repo/target/release/deps/libcdna_xen-47a3aabafb47d344.rlib: crates/xen/src/lib.rs crates/xen/src/accounting.rs crates/xen/src/bridge.rs crates/xen/src/cdna_driver.rs crates/xen/src/chan.rs crates/xen/src/evtchn.rs crates/xen/src/native.rs crates/xen/src/sched.rs
+
+/root/repo/target/release/deps/libcdna_xen-47a3aabafb47d344.rmeta: crates/xen/src/lib.rs crates/xen/src/accounting.rs crates/xen/src/bridge.rs crates/xen/src/cdna_driver.rs crates/xen/src/chan.rs crates/xen/src/evtchn.rs crates/xen/src/native.rs crates/xen/src/sched.rs
+
+crates/xen/src/lib.rs:
+crates/xen/src/accounting.rs:
+crates/xen/src/bridge.rs:
+crates/xen/src/cdna_driver.rs:
+crates/xen/src/chan.rs:
+crates/xen/src/evtchn.rs:
+crates/xen/src/native.rs:
+crates/xen/src/sched.rs:

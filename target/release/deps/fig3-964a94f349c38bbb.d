@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-964a94f349c38bbb.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-964a94f349c38bbb: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/run-be9c8622779d6b71.d: crates/bench/src/bin/run.rs
+
+/root/repo/target/release/deps/run-be9c8622779d6b71: crates/bench/src/bin/run.rs
+
+crates/bench/src/bin/run.rs:

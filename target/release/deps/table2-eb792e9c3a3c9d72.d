@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-eb792e9c3a3c9d72.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-eb792e9c3a3c9d72: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

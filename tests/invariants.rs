@@ -1,4 +1,6 @@
-//! Property-based tests of the core CDNA invariants.
+//! Property-style tests of the core CDNA invariants, driven over many
+//! seeded pseudo-random cases (the repo builds with zero external
+//! dependencies, so no property-testing framework).
 
 use cdna_core::{
     BitVectorRing, ContextId, DmaPolicy, InterruptBitVector, ProtectionEngine, SeqChecker,
@@ -7,22 +9,23 @@ use cdna_core::{
 use cdna_mem::{BufferSlice, DomainId, PhysMem};
 use cdna_net::{FlowId, MacAddr};
 use cdna_nic::{DescFlags, FrameMeta, RingTable};
-use proptest::prelude::*;
+use cdna_sim::SimRng;
 
-proptest! {
-    /// A checker accepts any prefix of a stamper's stream and rejects any
-    /// single substituted value.
-    #[test]
-    fn seqnum_accepts_stream_rejects_substitution(
-        modulus_pow in 2u32..12,
-        len in 1usize..500,
-        corrupt_at in 0usize..500,
-        delta in 1u32..100,
-    ) {
-        let modulus = 1u32 << modulus_pow;
+const CASES: u64 = 150;
+
+/// A checker accepts any prefix of a stamper's stream and rejects any
+/// single substituted value.
+#[test]
+fn seqnum_accepts_stream_rejects_substitution() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(0x5E0 ^ case);
+        let modulus = 1u32 << rng.range_u64(2..12);
+        let len = rng.range_u64(1..500) as usize;
+        let corrupt_at = rng.range_u64(0..500) as usize % len;
+        let delta = rng.range_u64(1..100) as u32;
+
         let mut stamper = SeqStamper::new(modulus);
         let stream: Vec<u32> = (0..len).map(|_| stamper.next()).collect();
-        let corrupt_at = corrupt_at % len;
 
         let mut checker = SeqChecker::new(modulus);
         for (i, &v) in stream.iter().enumerate() {
@@ -33,43 +36,52 @@ proptest! {
             };
             let result = checker.check(v);
             if i < corrupt_at {
-                prop_assert!(result.is_ok());
+                assert!(result.is_ok());
             } else if i == corrupt_at {
-                prop_assert!(result.is_err(), "corruption accepted at {i}");
+                assert!(result.is_err(), "corruption accepted at {i} (case {case})");
                 break;
             }
         }
     }
+}
 
-    /// A one-lap-stale replay is detected iff the sequence space is at
-    /// least twice the ring size (the paper's aliasing rule).
-    #[test]
-    fn stale_lap_detection_follows_aliasing_rule(
-        ring_pow in 2u32..8,
-        extra_pow in 0u32..3,
-    ) {
-        let ring_size = 1u32 << ring_pow;
-        let modulus = ring_size << extra_pow; // 1x, 2x, or 4x ring size
-        let mut stamper = SeqStamper::new(modulus);
-        let mut checker = SeqChecker::new(modulus);
-        let first_lap: Vec<u32> = (0..ring_size).map(|_| stamper.next()).collect();
-        for &v in &first_lap {
-            checker.check(v).unwrap();
+/// A one-lap-stale replay is detected iff the sequence space is at
+/// least twice the ring size (the paper's aliasing rule).
+#[test]
+fn stale_lap_detection_follows_aliasing_rule() {
+    for ring_pow in 2u32..8 {
+        for extra_pow in 0u32..3 {
+            let ring_size = 1u32 << ring_pow;
+            let modulus = ring_size << extra_pow; // 1x, 2x, or 4x ring size
+            let mut stamper = SeqStamper::new(modulus);
+            let mut checker = SeqChecker::new(modulus);
+            let first_lap: Vec<u32> = (0..ring_size).map(|_| stamper.next()).collect();
+            for &v in &first_lap {
+                checker.check(v).unwrap();
+            }
+            let stale = first_lap[0];
+            let detected = checker.check(stale).is_err();
+            let rule_satisfied = modulus >= 2 * ring_size;
+            assert_eq!(
+                detected, rule_satisfied,
+                "ring {ring_size}, modulus {modulus}: detected={detected}"
+            );
         }
-        let stale = first_lap[0];
-        let detected = checker.check(stale).is_err();
-        let rule_satisfied = modulus >= 2 * ring_size;
-        prop_assert_eq!(detected, rule_satisfied,
-            "ring {}, modulus {}: detected={}", ring_size, modulus, detected);
     }
+}
 
-    /// The vector port + ring never lose a context update, regardless of
-    /// the interleaving of updates, flushes, and drains.
-    #[test]
-    fn interrupt_bit_vectors_never_lose_updates(
-        ops in prop::collection::vec((0u8..3, 0u8..32), 1..200),
-        ring_pow in 1u32..5,
-    ) {
+/// The vector port + ring never lose a context update, regardless of
+/// the interleaving of updates, flushes, and drains.
+#[test]
+fn interrupt_bit_vectors_never_lose_updates() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(0xB17 ^ case);
+        let n = rng.range_u64(1..200) as usize;
+        let ops: Vec<(u8, u8)> = (0..n)
+            .map(|_| (rng.range_u64(0..3) as u8, rng.range_u64(0..32) as u8))
+            .collect();
+        let ring_pow = rng.range_u64(1..5) as u32;
+
         let mut port = VectorPort::new();
         let mut ring = BitVectorRing::new(1 << ring_pow);
         let mut noted = InterruptBitVector::EMPTY;
@@ -93,15 +105,19 @@ proptest! {
         seen.merge(ring.drain());
         let _ = port.flush(&mut ring);
         seen.merge(ring.drain());
-        prop_assert_eq!(seen, noted);
+        assert_eq!(seen, noted, "lost or phantom updates (case {case})");
     }
+}
 
-    /// After every enqueue/reap interleaving, outstanding pins equal the
-    /// number of unreaped descriptors, and a full reap releases all pins.
-    #[test]
-    fn pins_track_outstanding_descriptors(
-        batches in prop::collection::vec(1usize..8, 1..10),
-    ) {
+/// After every enqueue/reap interleaving, outstanding pins equal the
+/// number of unreaped descriptors, and a full reap releases all pins.
+#[test]
+fn pins_track_outstanding_descriptors() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(0x419 ^ case);
+        let n = rng.range_u64(1..10) as usize;
+        let batches: Vec<usize> = (0..n).map(|_| rng.range_u64(1..8) as usize).collect();
+
         let mut mem = PhysMem::new(4096);
         let mut rings = RingTable::new();
         let mut engine = ProtectionEngine::new();
@@ -135,21 +151,29 @@ proptest! {
                 .enqueue_tx(ctx, guest, &reqs, consumed, &mut rings, &mut mem)
                 .unwrap();
             enqueued += batch as u64;
-            prop_assert_eq!(
+            assert_eq!(
                 mem.outstanding_pins(),
                 enqueued - consumed,
-                "pins after enqueue"
+                "pins after enqueue (case {case})"
             );
         }
         // Everything completes.
         engine.reap(ctx, enqueued, 0, &mut mem).unwrap();
-        prop_assert_eq!(mem.outstanding_pins(), 0);
+        assert_eq!(mem.outstanding_pins(), 0);
     }
+}
 
-    /// Memory conservation: pages never appear or vanish across any mix
-    /// of allocation, free, transfer, pin and unpin.
-    #[test]
-    fn page_conservation(ops in prop::collection::vec((0u8..5, 0u16..4), 1..300)) {
+/// Memory conservation: pages never appear or vanish across any mix
+/// of allocation, free, transfer, pin and unpin.
+#[test]
+fn page_conservation() {
+    for case in 0..CASES {
+        let mut rng = SimRng::seed_from(0xC09 ^ case);
+        let n = rng.range_u64(1..300) as usize;
+        let ops: Vec<(u8, u16)> = (0..n)
+            .map(|_| (rng.range_u64(0..5) as u8, rng.range_u64(0..4) as u16))
+            .collect();
+
         let total = 64u32;
         let mut mem = PhysMem::new(total);
         let mut owned: Vec<cdna_mem::PageId> = Vec::new();
@@ -185,13 +209,11 @@ proptest! {
                 }
             }
             // Invariant: free + owned-by-someone == total.
-            let owned_count: u32 = (0..5u16)
-                .map(|g| mem.owned_by(DomainId::guest(g)))
-                .sum();
+            let owned_count: u32 = (0..5u16).map(|g| mem.owned_by(DomainId::guest(g))).sum();
             let pending = total - mem.free_pages() - owned_count;
-            prop_assert!(
+            assert!(
                 pending <= owned.len() as u32,
-                "unaccounted pages: free={} owned={}",
+                "unaccounted pages (case {case}): free={} owned={}",
                 mem.free_pages(),
                 owned_count
             );

@@ -15,7 +15,10 @@
 //!
 //! `--trace <path>` writes the run as Chrome `trace_event` JSON — open
 //! it at <https://ui.perfetto.dev> or `chrome://tracing`. `--metrics`
-//! appends the full per-domain counter table to the report.
+//! appends the full per-domain counter table to the report. `--shadow`
+//! attaches the `cdna-check` DMA shadow checker (audit results appear
+//! in the `global/check/*` counters and as a `shadow_audit` trace
+//! instant).
 
 use cdna_core::DmaPolicy;
 use cdna_system::{run_instrumented, Direction, Instrumentation, IoModel, NicKind, TestbedConfig};
@@ -28,7 +31,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: run [native|xen-intel|xen-ricenic|cdna|cdna-iommu|cdna-noprot] \
          [guests] [tx|rx] [--nics N] [--seed S] [--conns C] [--json] \
-         [--trace PATH] [--metrics]"
+         [--trace PATH] [--metrics] [--shadow]"
     );
     std::process::exit(2);
 }
@@ -132,6 +135,10 @@ fn main() {
             }
             "--metrics" => {
                 metrics = true;
+                i += 1;
+            }
+            "--shadow" => {
+                cfg.shadow_check = true;
                 i += 1;
             }
             other => {

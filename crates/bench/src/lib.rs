@@ -23,7 +23,7 @@ pub fn run_parallel(configs: Vec<TestbedConfig>) -> Vec<RunReport> {
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("experiment thread panicked"))
+            .map(|h| h.join().expect("experiment thread panicked")) // cdna-check: allow(panic): worker panic is propagated as fatal
             .collect()
     })
 }

@@ -1,0 +1,531 @@
+//! A minimal hand-rolled Rust source scanner.
+//!
+//! The static pass does not need a real parser: every rule it enforces
+//! is visible at the token level once comments and string literals are
+//! out of the way. This module provides the passes the rules build on:
+//!
+//! 1. [`scrub`] — replaces comments and string/char-literal *contents*
+//!    with spaces (newlines preserved, so line numbers survive), while
+//!    harvesting `// cdna-check: allow(...)` annotations from the
+//!    comment text it removes.
+//! 2. [`tokenize`] — splits the scrubbed text into identifier and
+//!    punctuation tokens with line numbers.
+//! 3. [`test_lines`] — marks the line ranges occupied by `#[cfg(test)]`
+//!    / `#[test]` items so rules can exempt test code.
+
+use std::collections::BTreeMap;
+
+/// A per-line or per-file lint suppression harvested from comments.
+///
+/// Syntax, anywhere inside a `//` or `/* */` comment:
+///
+/// ```text
+/// // cdna-check: allow(panic)
+/// // cdna-check: allow(panic, nondeterministic-map): justification
+/// // cdna-check: allow-file(sim-time): justification
+/// ```
+///
+/// A line-scoped `allow` suppresses diagnostics on its own line and the
+/// line immediately after it; `allow-file` suppresses the rule for the
+/// whole file.
+#[derive(Debug, Clone, Default)]
+pub struct Allows {
+    /// line number (1-based) → rule names allowed on that line.
+    by_line: BTreeMap<u32, Vec<String>>,
+    /// Rule names allowed for the entire file.
+    file_wide: Vec<String>,
+}
+
+impl Allows {
+    /// Whether `rule` is suppressed at `line`.
+    pub fn permits(&self, rule: &str, line: u32) -> bool {
+        if self.file_wide.iter().any(|r| r == rule || r == "all") {
+            return true;
+        }
+        // An annotation applies to its own line (trailing comment) and
+        // to the following line (comment above the offending code).
+        for l in [line, line.saturating_sub(1)] {
+            if let Some(rules) = self.by_line.get(&l) {
+                if rules.iter().any(|r| r == rule || r == "all") {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Total number of annotations present (for report statistics).
+    pub fn count(&self) -> usize {
+        self.by_line.values().map(Vec::len).sum::<usize>() + self.file_wide.len()
+    }
+
+    fn record(&mut self, comment: &str, line: u32) {
+        for (marker, file_wide) in [
+            ("cdna-check: allow-file(", true),
+            ("cdna-check: allow(", false),
+        ] {
+            let Some(start) = comment.find(marker) else {
+                continue;
+            };
+            let rest = &comment[start + marker.len()..];
+            let Some(end) = rest.find(')') else { continue };
+            for rule in rest[..end].split(',') {
+                let rule = rule.trim().to_string();
+                if rule.is_empty() {
+                    continue;
+                }
+                if file_wide {
+                    self.file_wide.push(rule);
+                } else {
+                    self.by_line.entry(line).or_default().push(rule);
+                }
+            }
+            return; // "allow-file(" contains "allow(": don't double-record
+        }
+    }
+}
+
+/// Result of [`scrub`]: comment/string-free source plus the harvested
+/// annotations.
+#[derive(Debug)]
+pub struct Scrubbed {
+    /// The source with comments and literal contents blanked to spaces.
+    /// Newlines are preserved so positions map to original lines.
+    pub masked: String,
+    /// Lint suppressions found in the removed comments.
+    pub allows: Allows,
+}
+
+/// Strips comments and string/char-literal contents from Rust source.
+///
+/// Handles line comments, nested block comments, string literals with
+/// escapes, raw strings (`r"…"`, `r#"…"#`, any hash depth, with `b`
+/// prefixes), and the `'x'` char-literal vs `'a` lifetime ambiguity.
+/// The scanner is byte-wise: every delimiter it cares about is ASCII,
+/// and non-ASCII bytes are simply copied (outside literals) or blanked
+/// (inside), so multi-byte characters are never split across modes.
+pub fn scrub(src: &str) -> Scrubbed {
+    let bytes = src.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(bytes.len());
+    let mut allows = Allows::default();
+    let mut line: u32 = 1;
+    let mut i = 0;
+
+    // Blanks bytes i..end into `out`, preserving newlines and counting
+    // lines; returns with i == end.
+    let blank = |out: &mut Vec<u8>, line: &mut u32, bytes: &[u8], from: usize, to: usize| {
+        for &b in &bytes[from..to] {
+            if b == b'\n' {
+                *line += 1;
+                out.push(b'\n');
+            } else {
+                out.push(b' ');
+            }
+        }
+    };
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let next = bytes.get(i + 1).copied().unwrap_or(0);
+        if b == b'/' && next == b'/' {
+            // Line comment: blank to end of line, harvest annotation.
+            let end = src[i..].find('\n').map(|o| i + o).unwrap_or(bytes.len());
+            allows.record(&src[i..end], line);
+            blank(&mut out, &mut line, bytes, i, end);
+            i = end;
+        } else if b == b'/' && next == b'*' {
+            // Block comment, possibly nested.
+            let start_line = line;
+            let start = i;
+            let mut depth = 1;
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            allows.record(&src[start..i], start_line);
+            blank(&mut out, &mut line, bytes, start, i);
+        } else if b == b'"' {
+            // String literal: blank the contents, keep the quotes.
+            out.push(b'"');
+            i += 1;
+            let body = i;
+            while i < bytes.len() {
+                if bytes[i] == b'\\' {
+                    i = (i + 2).min(bytes.len());
+                } else if bytes[i] == b'"' {
+                    break;
+                } else {
+                    i += 1;
+                }
+            }
+            blank(&mut out, &mut line, bytes, body, i);
+            if i < bytes.len() {
+                out.push(b'"');
+                i += 1;
+            }
+        } else if (b == b'r' || b == b'b') && raw_string_open(bytes, i).is_some() {
+            // Raw (byte) string: r"…", r#"…"#, br#"…"#, …
+            let (hashes, body) = raw_string_open(bytes, i).unwrap_or((0, i + 2));
+            out.extend(std::iter::repeat_n(b' ', body - 1 - i));
+            out.push(b'"');
+            let close = format!("\"{}", "#".repeat(hashes));
+            let end = src[body..]
+                .find(&close)
+                .map(|o| body + o)
+                .unwrap_or(bytes.len());
+            blank(&mut out, &mut line, bytes, body, end);
+            out.push(b'"');
+            let after = (end + close.len()).min(bytes.len());
+            out.extend(std::iter::repeat_n(b' ', after.saturating_sub(end + 1)));
+            i = after;
+        } else if b == b'\'' {
+            // Char literal or lifetime.
+            if let Some(len) = char_literal_len(bytes, i) {
+                out.push(b'\'');
+                blank(&mut out, &mut line, bytes, i + 1, i + len - 1);
+                out.push(b'\'');
+                i += len;
+            } else {
+                out.push(b'\'');
+                i += 1;
+            }
+        } else {
+            if b == b'\n' {
+                line += 1;
+            }
+            out.push(b);
+            i += 1;
+        }
+    }
+
+    Scrubbed {
+        masked: String::from_utf8_lossy(&out).into_owned(),
+        allows,
+    }
+}
+
+/// If a raw string starts at byte `i` (an `r` or `b`), returns
+/// (hash count, index of the first body byte).
+fn raw_string_open(bytes: &[u8], i: usize) -> Option<(usize, usize)> {
+    // Reject identifier context (e.g. the trailing r of `for`).
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return None;
+    }
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'"') {
+        Some((hashes, j + 1))
+    } else {
+        None
+    }
+}
+
+/// If a char literal starts at byte `i` (a `'`), returns its byte
+/// length including both quotes; `None` for lifetimes.
+fn char_literal_len(bytes: &[u8], i: usize) -> Option<usize> {
+    let first = *bytes.get(i + 1)?;
+    if first == b'\\' {
+        // Escaped char: find the closing quote within a short window.
+        let window = &bytes[i + 3..(i + 14).min(bytes.len())];
+        // Window starts 3 bytes past `i`; +1 includes the quote itself.
+        window.iter().position(|&b| b == b'\'').map(|off| off + 4)
+    } else if first != b'\'' {
+        // Find the end of the (possibly multi-byte) char.
+        let mut j = i + 2;
+        while j < bytes.len() && bytes[j] & 0xC0 == 0x80 {
+            j += 1; // UTF-8 continuation bytes
+        }
+        if bytes.get(j) == Some(&b'\'') {
+            Some(j + 1 - i)
+        } else {
+            None // lifetime like 'a
+        }
+    } else {
+        None
+    }
+}
+
+/// One token of scrubbed source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text (identifier, number, or single punctuation char).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Whether this is an identifier/keyword token.
+    pub is_ident: bool,
+}
+
+/// Splits scrubbed source into identifier and punctuation tokens.
+pub fn tokenize(masked: &str) -> Vec<Token> {
+    let bytes = masked.as_bytes();
+    let mut tokens = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+        } else if b.is_ascii_whitespace() {
+            i += 1;
+        } else if b.is_ascii_alphanumeric() || b == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            tokens.push(Token {
+                text: masked[start..i].to_string(),
+                line,
+                is_ident: !b.is_ascii_digit(),
+            });
+        } else {
+            // Single punctuation byte (non-ASCII bytes land here too and
+            // are carried through opaquely).
+            let start = i;
+            i += 1;
+            while i < bytes.len() && bytes[i] & 0xC0 == 0x80 {
+                i += 1; // keep a multi-byte char as one token
+            }
+            tokens.push(Token {
+                text: masked[start..i].to_string(),
+                line,
+                is_ident: false,
+            });
+        }
+    }
+    tokens
+}
+
+/// Returns the set of 1-based lines that belong to test-only items:
+/// anything under a `#[cfg(test)]` attribute or a `#[test]` function.
+///
+/// Detection is token-based: on seeing the attribute, the scanner skips
+/// any further attributes, then brace-matches the next `{ … }` block and
+/// marks every line it spans.
+pub fn test_lines(tokens: &[Token]) -> std::collections::BTreeSet<u32> {
+    let mut lines = std::collections::BTreeSet::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if let Some(attr_end) = match_test_attr(tokens, i) {
+            // Skip any further attributes (e.g. #[allow(...)]).
+            let mut j = attr_end;
+            while j + 1 < tokens.len() && tokens[j].text == "#" && tokens[j + 1].text == "[" {
+                j = skip_attr(tokens, j);
+            }
+            // Find the item's opening brace and match it. A `;` first
+            // means an item with no body (e.g. `mod tests;`).
+            while j < tokens.len() && tokens[j].text != "{" && tokens[j].text != ";" {
+                j += 1;
+            }
+            if j < tokens.len() && tokens[j].text == "{" {
+                let mut depth = 0;
+                let start_line = tokens[i].line;
+                while j < tokens.len() {
+                    match tokens[j].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let end_line = tokens[j.min(tokens.len() - 1)].line;
+                for l in start_line..=end_line {
+                    lines.insert(l);
+                }
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    lines
+}
+
+/// If `#[test]` or `#[cfg(test)]` (or `#[cfg(…, test, …)]`) starts at
+/// token `i`, returns the index one past the closing `]`.
+fn match_test_attr(tokens: &[Token], i: usize) -> Option<usize> {
+    if tokens.get(i)?.text != "#" || tokens.get(i + 1)?.text != "[" {
+        return None;
+    }
+    let end = skip_attr(tokens, i);
+    let inner: Vec<&str> = tokens[i + 2..end.saturating_sub(1)]
+        .iter()
+        .map(|t| t.text.as_str())
+        .collect();
+    let is_test = match inner.as_slice() {
+        ["test"] => true,
+        ["cfg", "(", rest @ ..] => rest.contains(&"test"),
+        _ => false,
+    };
+    is_test.then_some(end)
+}
+
+/// Returns the index one past the `]` closing the attribute whose `#`
+/// is at token `i`.
+fn skip_attr(tokens: &[Token], i: usize) -> usize {
+    let mut j = i + 1;
+    let mut depth = 0;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = "let x = \"unwrap()\"; // unwrap()\nlet y = 1; /* panic! */";
+        let s = scrub(src);
+        assert!(!s.masked.contains("unwrap"));
+        assert!(!s.masked.contains("panic"));
+        assert_eq!(s.masked.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn escaped_quote_does_not_close_string() {
+        let src = r#"let x = "a\"unwrap()\"b"; let y = 1;"#;
+        let s = scrub(src);
+        assert!(!s.masked.contains("unwrap"));
+        assert!(s.masked.contains("let y"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let src = r##"let x = r#"HashMap"#; let y = 2;"##;
+        let s = scrub(src);
+        assert!(!s.masked.contains("HashMap"));
+        assert!(s.masked.contains("let y"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner unsafe */ still comment */ fn f() {}";
+        let s = scrub(src);
+        assert!(!s.masked.contains("unsafe"));
+        assert!(s.masked.contains("fn f"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let c = '\"'; let d = 'x'; }";
+        let s = scrub(src);
+        assert!(s.masked.contains("fn f<'a>"));
+        // The quote inside the char literal must not open a string.
+        assert!(s.masked.contains("let d"));
+    }
+
+    #[test]
+    fn unicode_in_strings_survives() {
+        let src = "let s = \"ünïcode\"; let t = 9;";
+        let s = scrub(src);
+        assert!(s.masked.contains("let t"));
+    }
+
+    #[test]
+    fn line_allow_harvested() {
+        let src = "foo(); // cdna-check: allow(panic): reason\nbar();";
+        let s = scrub(src);
+        assert!(s.allows.permits("panic", 1));
+        assert!(s.allows.permits("panic", 2), "applies to next line too");
+        assert!(!s.allows.permits("panic", 3));
+        assert!(!s.allows.permits("unsafe", 1));
+    }
+
+    #[test]
+    fn file_allow_harvested() {
+        let src = "// cdna-check: allow-file(sim-time): wall clock ok here\nfn f() {}\n";
+        let s = scrub(src);
+        assert!(s.allows.permits("sim-time", 40));
+        assert!(!s.allows.permits("panic", 1));
+    }
+
+    #[test]
+    fn multi_rule_allow() {
+        let src = "x(); // cdna-check: allow(panic, nondeterministic-map)";
+        let s = scrub(src);
+        assert!(s.allows.permits("panic", 1));
+        assert!(s.allows.permits("nondeterministic-map", 1));
+    }
+
+    #[test]
+    fn tokenizer_line_numbers() {
+        let toks = tokenize("a\nb c\n  d");
+        let lines: Vec<(String, u32)> = toks.iter().map(|t| (t.text.clone(), t.line)).collect();
+        assert_eq!(
+            lines,
+            vec![
+                ("a".into(), 1),
+                ("b".into(), 2),
+                ("c".into(), 2),
+                ("d".into(), 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn cfg_test_block_detected() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn more() {}";
+        let s = scrub(src);
+        let toks = tokenize(&s.masked);
+        let tl = test_lines(&toks);
+        assert!(!tl.contains(&1));
+        assert!(tl.contains(&4));
+        assert!(!tl.contains(&6));
+    }
+
+    #[test]
+    fn test_fn_attr_detected() {
+        let src = "#[test]\nfn t() {\n  boom();\n}\nfn lib() {}";
+        let s = scrub(src);
+        let tl = test_lines(&tokenize(&s.masked));
+        assert!(tl.contains(&3));
+        assert!(!tl.contains(&5));
+    }
+
+    #[test]
+    fn should_panic_attr_between_test_and_body() {
+        let src = "#[test]\n#[should_panic(expected = \"boom\")]\nfn t() {\n  boom();\n}";
+        let s = scrub(src);
+        let tl = test_lines(&tokenize(&s.masked));
+        assert!(tl.contains(&4));
+    }
+}

@@ -1,0 +1,45 @@
+//! cdna-check: hermetic static analysis + dynamic DMA-invariant
+//! checking for the CDNA workspace.
+//!
+//! CDNA's safety argument rests on invariants — strictly increasing
+//! sequence numbers, page-ownership validation, pins that outlive
+//! in-flight DMA — that historically lived only implicitly in
+//! `cdna-core`'s protection engine and `cdna-mem`'s page pool. This
+//! crate makes them mechanically checkable, twice over:
+//!
+//! * **Static pass** ([`rules`], on top of [`lexer`]): a hand-rolled
+//!   token scanner that walks the workspace and enforces the repo's
+//!   correctness rules — no wall-clock time in simulation code, no
+//!   nondeterministic map iteration, no panics in library code, no
+//!   `unsafe`, no external-registry dependencies, no undocumented
+//!   public items. Violations can be suppressed in-source with
+//!   `// cdna-check: allow(<rule>)` annotations.
+//! * **Dynamic pass** ([`shadow`]): a [`DmaShadow`] that mirrors every
+//!   page through the `Free → Owned → Pinned → InFlight → Completed`
+//!   lifecycle and every context's sequence stream, independently
+//!   re-checking what the protection path claims at runtime.
+//!
+//! Both run under `cargo test` and as the `cdna-check` binary
+//! (`cargo run -p cdna-check`), which exits non-zero on any violation
+//! and can emit a machine-readable JSON report ([`report`]).
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod shadow;
+
+pub use report::render_json;
+pub use rules::{check_manifest, check_repo, check_source, Diagnostic, FileKind, StaticReport};
+pub use shadow::{DmaShadow, ShadowDir, ShadowState, ShadowViolation, ViolationKind};
+
+use std::path::PathBuf;
+
+/// The workspace root this crate was built from, for self-checking:
+/// `crates/check` → two levels up.
+pub fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+}

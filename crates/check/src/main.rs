@@ -1,0 +1,66 @@
+//! `cdna-check` binary: runs the static pass over the workspace and
+//! exits non-zero on any violation.
+//!
+//! ```text
+//! cargo run -p cdna-check                 # scan, print diagnostics
+//! cargo run -p cdna-check -- --json out.json   # also write JSON report
+//! cargo run -p cdna-check -- --root /path/to/repo
+//! ```
+
+use cdna_check::{check_repo, render_json, workspace_root};
+use std::path::PathBuf;
+
+fn main() {
+    let mut root = workspace_root();
+    let mut json_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json_path = args.next().map(PathBuf::from),
+            "--root" => {
+                if let Some(r) = args.next() {
+                    root = PathBuf::from(r);
+                }
+            }
+            "--help" | "-h" => {
+                println!("usage: cdna-check [--root DIR] [--json REPORT.json]");
+                return;
+            }
+            other => {
+                eprintln!("cdna-check: unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let report = match check_repo(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cdna-check: scan failed: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    for d in &report.diagnostics {
+        println!("{}", d.render());
+    }
+    println!(
+        "cdna-check: {} file(s), {} manifest(s), {} allow annotation(s), {} violation(s)",
+        report.files_scanned,
+        report.manifests_scanned,
+        report.allow_count,
+        report.diagnostics.len()
+    );
+
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(&path, render_json(&report)) {
+            eprintln!("cdna-check: cannot write {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        println!("cdna-check: JSON report written to {}", path.display());
+    }
+
+    if !report.clean() {
+        std::process::exit(1);
+    }
+}

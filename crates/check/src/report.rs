@@ -1,0 +1,120 @@
+//! Machine-readable JSON report for CI, built on `cdna-trace`'s
+//! [`JsonWriter`] so the checker stays dependency-free.
+//!
+//! Shape:
+//!
+//! ```json
+//! {
+//!   "tool": "cdna-check",
+//!   "clean": false,
+//!   "files_scanned": 42,
+//!   "manifests_scanned": 11,
+//!   "allow_annotations": 9,
+//!   "counts": { "panic": 2, "unsafe": 1 },
+//!   "diagnostics": [
+//!     { "rule": "panic", "file": "crates/x/src/y.rs", "line": 17,
+//!       "message": "`.unwrap()` can panic in library code; ..." }
+//!   ]
+//! }
+//! ```
+//!
+//! `counts` and `diagnostics` are sorted, so the report is byte-stable
+//! across runs — diffable in CI artifacts.
+
+use crate::rules::StaticReport;
+use cdna_trace::json::JsonWriter;
+use std::collections::BTreeMap;
+
+/// Renders a [`StaticReport`] as a JSON document.
+pub fn render_json(report: &StaticReport) -> String {
+    let mut counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for d in &report.diagnostics {
+        *counts.entry(d.rule).or_insert(0) += 1;
+    }
+
+    let mut w = JsonWriter::with_capacity(4096 + report.diagnostics.len() * 128);
+    w.begin_object();
+    w.key("tool");
+    w.string("cdna-check");
+    w.key("clean");
+    w.boolean(report.clean());
+    w.key("files_scanned");
+    w.number_u64(report.files_scanned as u64);
+    w.key("manifests_scanned");
+    w.number_u64(report.manifests_scanned as u64);
+    w.key("allow_annotations");
+    w.number_u64(report.allow_count as u64);
+    w.key("counts");
+    w.begin_object();
+    for (rule, n) in &counts {
+        w.key(rule);
+        w.number_u64(*n);
+    }
+    w.end_object();
+    w.key("diagnostics");
+    w.begin_array();
+    for d in &report.diagnostics {
+        w.begin_object();
+        w.key("rule");
+        w.string(d.rule);
+        w.key("file");
+        w.string(&d.file);
+        w.key("line");
+        w.number_u64(u64::from(d.line));
+        w.key("message");
+        w.string(&d.message);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Diagnostic;
+
+    #[test]
+    fn clean_report_shape() {
+        let r = StaticReport {
+            files_scanned: 3,
+            manifests_scanned: 2,
+            allow_count: 1,
+            ..StaticReport::default()
+        };
+        let json = render_json(&r);
+        assert!(json.contains(r#""tool":"cdna-check""#));
+        assert!(json.contains(r#""clean":true"#));
+        assert!(json.contains(r#""files_scanned":3"#));
+        assert!(json.contains(r#""diagnostics":[]"#));
+    }
+
+    #[test]
+    fn diagnostics_serialized_with_counts() {
+        let r = StaticReport {
+            diagnostics: vec![
+                Diagnostic {
+                    rule: "panic",
+                    file: "a.rs".into(),
+                    line: 5,
+                    message: "boom \"quoted\"".into(),
+                },
+                Diagnostic {
+                    rule: "panic",
+                    file: "b.rs".into(),
+                    line: 1,
+                    message: "again".into(),
+                },
+            ],
+            files_scanned: 2,
+            manifests_scanned: 0,
+            allow_count: 0,
+        };
+        let json = render_json(&r);
+        assert!(json.contains(r#""clean":false"#));
+        assert!(json.contains(r#""panic":2"#));
+        assert!(json.contains(r#""line":5"#));
+        assert!(json.contains(r#"\"quoted\""#), "message must be escaped");
+    }
+}

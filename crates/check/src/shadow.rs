@@ -1,0 +1,815 @@
+//! `DmaShadow` — the dynamic half of cdna-check.
+//!
+//! The CDNA protection path (`cdna-core`'s `ProtectionEngine` over
+//! `cdna-mem`'s `PhysMem`) *claims* a set of invariants: every DMA
+//! buffer is ownership-validated and pinned before the NIC sees it,
+//! pins outlive the DMA, frees are deferred while pins remain, and
+//! per-context sequence numbers advance without replay or gaps. The
+//! shadow checker mirrors every page through an explicit
+//!
+//! ```text
+//! Free → Owned → Pinned → InFlight → Completed (→ Owned → Free)
+//! ```
+//!
+//! state machine and every context's sequence stream, fed by the same
+//! events the real path processes — so any divergence between what the
+//! engine did and what the invariants allow surfaces as a
+//! [`ShadowViolation`] instead of silent corruption.
+//!
+//! The shadow is deliberately independent: it keeps its own
+//! `BTreeMap`-backed mirror rather than querying `PhysMem`, and the
+//! periodic [`DmaShadow::audit_mem`] / [`DmaShadow::audit_pinned`]
+//! passes cross-check mirror against reality.
+
+use cdna_core::ContextId;
+use cdna_mem::{DomainId, PageId, PhysMem};
+use std::collections::BTreeMap;
+
+/// Which half of a context's DMA stream a sequence number belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ShadowDir {
+    /// Guest→wire transmit stream.
+    Tx,
+    /// Wire→guest receive stream.
+    Rx,
+}
+
+impl ShadowDir {
+    /// Short stream name for trace events and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShadowDir::Tx => "tx",
+            ShadowDir::Rx => "rx",
+        }
+    }
+}
+
+/// The lifecycle position of a mirrored page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShadowState {
+    /// No owner: on the free list.
+    Free,
+    /// Owned by a domain, no pins.
+    Owned,
+    /// Pinned for DMA but not yet handed to the device.
+    Pinned,
+    /// At least one DMA referencing the page is outstanding.
+    InFlight,
+    /// DMA completed; pins not yet dropped (awaiting lazy reap).
+    Completed,
+}
+
+/// A DMA-invariant violation detected by the shadow checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A pin was requested for a page already handed to the device.
+    DoublePin,
+    /// An unpin arrived with zero shadow pins outstanding.
+    UnpinUnderflow,
+    /// A free took effect while DMA was still outstanding.
+    FreeWhileInFlight,
+    /// Ownership transferred while the page was pinned or in flight.
+    OwnershipChangeUnderPin,
+    /// DMA started on a page with no shadow pin.
+    DmaWithoutPin,
+    /// A pin was requested for an unowned (free) page.
+    PinWithoutOwner,
+    /// A sequence number was re-observed (stale descriptor replay).
+    SequenceReplay {
+        /// The next sequence number the shadow expected.
+        expected: u32,
+        /// The stale number actually observed.
+        found: u32,
+    },
+    /// One or more sequence numbers were skipped.
+    SequenceGap {
+        /// The next sequence number the shadow expected.
+        expected: u32,
+        /// The number actually observed (ahead of expected).
+        found: u32,
+    },
+    /// An audit found the mirror and the real state disagreeing.
+    MirrorDivergence {
+        /// What diverged, rendered for the report.
+        detail: String,
+    },
+}
+
+impl ViolationKind {
+    /// Stable numeric code for embedding in a `FaultKind`.
+    pub fn code(&self) -> u32 {
+        match self {
+            ViolationKind::DoublePin => 1,
+            ViolationKind::UnpinUnderflow => 2,
+            ViolationKind::FreeWhileInFlight => 3,
+            ViolationKind::OwnershipChangeUnderPin => 4,
+            ViolationKind::DmaWithoutPin => 5,
+            ViolationKind::PinWithoutOwner => 6,
+            ViolationKind::SequenceReplay { .. } => 7,
+            ViolationKind::SequenceGap { .. } => 8,
+            ViolationKind::MirrorDivergence { .. } => 9,
+        }
+    }
+
+    /// Stable kebab-case name for reports and trace events.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ViolationKind::DoublePin => "double-pin",
+            ViolationKind::UnpinUnderflow => "unpin-underflow",
+            ViolationKind::FreeWhileInFlight => "free-while-in-flight",
+            ViolationKind::OwnershipChangeUnderPin => "ownership-change-under-pin",
+            ViolationKind::DmaWithoutPin => "dma-without-pin",
+            ViolationKind::PinWithoutOwner => "pin-without-owner",
+            ViolationKind::SequenceReplay { .. } => "sequence-replay",
+            ViolationKind::SequenceGap { .. } => "sequence-gap",
+            ViolationKind::MirrorDivergence { .. } => "mirror-divergence",
+        }
+    }
+}
+
+impl std::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViolationKind::SequenceReplay { expected, found } => {
+                write!(f, "sequence-replay (expected {expected}, found {found})")
+            }
+            ViolationKind::SequenceGap { expected, found } => {
+                write!(f, "sequence-gap (expected {expected}, found {found})")
+            }
+            ViolationKind::MirrorDivergence { detail } => {
+                write!(f, "mirror-divergence: {detail}")
+            }
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// One recorded violation with its attribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShadowViolation {
+    /// The context involved, when the event carried one.
+    pub ctx: Option<ContextId>,
+    /// The page involved, when the event carried one.
+    pub page: Option<PageId>,
+    /// What went wrong.
+    pub kind: ViolationKind,
+}
+
+impl std::fmt::Display for ShadowViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shadow violation: {}", self.kind)?;
+        if let Some(ctx) = self.ctx {
+            write!(f, " ctx={}", ctx.0)?;
+        }
+        if let Some(page) = self.page {
+            write!(f, " page={}", page.0)?;
+        }
+        Ok(())
+    }
+}
+
+/// Mirror of one page's protection-relevant state.
+#[derive(Debug, Clone, Default)]
+struct PageMirror {
+    owner: Option<DomainId>,
+    pins: u32,
+    inflight: u32,
+    /// Whether at least one DMA has completed since the last unpin —
+    /// distinguishes `Completed` from plain `Pinned` for state reports.
+    completed: bool,
+    /// Owner freed the page while pinned: the free takes effect when the
+    /// last pin drops (mirrors `PhysMem`'s deferred free).
+    pending_free: bool,
+}
+
+/// Per-(context, direction) expected-sequence tracker.
+#[derive(Debug, Clone)]
+struct SeqShadow {
+    expected: u32,
+    modulus: u32,
+    observed: u64,
+    /// Set by [`DmaShadow::reset_seq_on`]: the next observation reseeds
+    /// the expectation instead of being checked against it.
+    reseed: bool,
+}
+
+/// Appends a violation; free function so event handlers can record
+/// while holding a mutable borrow of the page mirror map.
+fn record(
+    violations: &mut Vec<ShadowViolation>,
+    ctx: Option<ContextId>,
+    page: Option<PageId>,
+    kind: ViolationKind,
+) {
+    violations.push(ShadowViolation { ctx, page, kind });
+}
+
+/// The shadow checker. See the module docs for the model.
+///
+/// All storage is `BTreeMap`-backed so violation reports iterate in
+/// deterministic order regardless of event arrival interleaving.
+#[derive(Debug, Default)]
+pub struct DmaShadow {
+    pages: BTreeMap<PageId, PageMirror>,
+    seqs: BTreeMap<(u16, u8, ShadowDir), SeqShadow>,
+    violations: Vec<ShadowViolation>,
+    events: u64,
+}
+
+impl DmaShadow {
+    /// Creates an empty shadow; pages are tracked lazily on first event.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The lifecycle state the mirror currently assigns to `page`.
+    pub fn state(&self, page: PageId) -> ShadowState {
+        match self.pages.get(&page) {
+            None => ShadowState::Free,
+            Some(m) if m.owner.is_none() => ShadowState::Free,
+            Some(m) if m.inflight > 0 => ShadowState::InFlight,
+            Some(m) if m.pins > 0 && m.completed => ShadowState::Completed,
+            Some(m) if m.pins > 0 => ShadowState::Pinned,
+            Some(_) => ShadowState::Owned,
+        }
+    }
+
+    /// All violations recorded so far, in event order.
+    pub fn violations(&self) -> &[ShadowViolation] {
+        &self.violations
+    }
+
+    /// Drains and returns the recorded violations.
+    pub fn take_violations(&mut self) -> Vec<ShadowViolation> {
+        std::mem::take(&mut self.violations)
+    }
+
+    /// Number of events the shadow has processed.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Number of pages the mirror currently tracks.
+    pub fn pages_tracked(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The owner the mirror currently records for `page`, if tracked.
+    pub fn owner(&self, page: PageId) -> Option<DomainId> {
+        self.pages.get(&page).and_then(|m| m.owner)
+    }
+
+    /// A page left the free list with `owner`.
+    pub fn on_alloc(&mut self, owner: DomainId, page: PageId) {
+        self.events += 1;
+        let m = self.pages.entry(page).or_default();
+        if m.owner.is_some() {
+            let detail = format!("alloc of page {} already owned by {:?}", page.0, m.owner);
+            record(
+                &mut self.violations,
+                None,
+                Some(page),
+                ViolationKind::MirrorDivergence { detail },
+            );
+        }
+        *self.pages.entry(page).or_default() = PageMirror {
+            owner: Some(owner),
+            ..PageMirror::default()
+        };
+    }
+
+    /// The owner asked to free `page`. Mirrors `PhysMem::free`'s
+    /// semantics: a free under pins is legal but *deferred*; the shadow
+    /// flags it only if DMA is outstanding (the dangerous case) and
+    /// otherwise arms `pending_free`.
+    pub fn on_free(&mut self, owner: DomainId, page: PageId) {
+        self.events += 1;
+        let Some(m) = self.pages.get_mut(&page) else {
+            let detail = format!("free of untracked page {}", page.0);
+            record(
+                &mut self.violations,
+                None,
+                Some(page),
+                ViolationKind::MirrorDivergence { detail },
+            );
+            return;
+        };
+        if m.owner != Some(owner) {
+            let detail = format!(
+                "free of page {} by {owner} but mirror owner is {:?}",
+                page.0, m.owner
+            );
+            record(
+                &mut self.violations,
+                None,
+                Some(page),
+                ViolationKind::MirrorDivergence { detail },
+            );
+        }
+        if m.inflight > 0 {
+            record(
+                &mut self.violations,
+                None,
+                Some(page),
+                ViolationKind::FreeWhileInFlight,
+            );
+            return;
+        }
+        if m.pins > 0 {
+            m.pending_free = true; // deferred free: completes at last unpin
+        } else {
+            self.pages.remove(&page);
+        }
+    }
+
+    /// Ownership of `page` moved from `from` to `to` (page flip / grant
+    /// transfer). Illegal while pinned or in flight.
+    pub fn on_transfer(&mut self, page: PageId, from: DomainId, to: DomainId) {
+        self.events += 1;
+        let m = self.pages.entry(page).or_default();
+        if m.pins > 0 || m.inflight > 0 {
+            record(
+                &mut self.violations,
+                None,
+                Some(page),
+                ViolationKind::OwnershipChangeUnderPin,
+            );
+        }
+        if m.owner.is_some() && m.owner != Some(from) {
+            let detail = format!(
+                "transfer of page {} from {from} but mirror owner is {:?}",
+                page.0, m.owner
+            );
+            record(
+                &mut self.violations,
+                None,
+                Some(page),
+                ViolationKind::MirrorDivergence { detail },
+            );
+        }
+        m.owner = Some(to);
+    }
+
+    /// The protection path pinned `page` for an upcoming DMA.
+    pub fn on_pin(&mut self, page: PageId) {
+        self.events += 1;
+        let m = self.pages.entry(page).or_default();
+        if m.owner.is_none() {
+            record(
+                &mut self.violations,
+                None,
+                Some(page),
+                ViolationKind::PinWithoutOwner,
+            );
+        }
+        if m.inflight > 0 {
+            // Pinning a page already handed to the device means the same
+            // buffer was validated twice without an intervening reap.
+            record(
+                &mut self.violations,
+                None,
+                Some(page),
+                ViolationKind::DoublePin,
+            );
+        }
+        m.pins += 1;
+        m.completed = false;
+    }
+
+    /// The protection path dropped one pin of `page`.
+    pub fn on_unpin(&mut self, page: PageId) {
+        self.events += 1;
+        let Some(m) = self.pages.get_mut(&page) else {
+            record(
+                &mut self.violations,
+                None,
+                Some(page),
+                ViolationKind::UnpinUnderflow,
+            );
+            return;
+        };
+        if m.pins == 0 {
+            record(
+                &mut self.violations,
+                None,
+                Some(page),
+                ViolationKind::UnpinUnderflow,
+            );
+            return;
+        }
+        m.pins -= 1;
+        if m.pins == 0 {
+            m.completed = false;
+            if m.pending_free {
+                self.pages.remove(&page); // deferred free completes
+            }
+        }
+    }
+
+    /// A DMA referencing `page` was handed to the device on behalf of
+    /// `ctx`.
+    pub fn on_dma_start(&mut self, ctx: ContextId, page: PageId) {
+        self.events += 1;
+        let m = self.pages.entry(page).or_default();
+        if m.pins == 0 {
+            record(
+                &mut self.violations,
+                Some(ctx),
+                Some(page),
+                ViolationKind::DmaWithoutPin,
+            );
+        }
+        m.inflight += 1;
+    }
+
+    /// The DMA referencing `page` completed (device is done; pins remain
+    /// until the lazy reap unpins).
+    pub fn on_dma_complete(&mut self, ctx: ContextId, page: PageId) {
+        self.events += 1;
+        let m = self.pages.entry(page).or_default();
+        if m.inflight == 0 {
+            let detail = format!("completion for page {} with no in-flight DMA", page.0);
+            record(
+                &mut self.violations,
+                Some(ctx),
+                Some(page),
+                ViolationKind::MirrorDivergence { detail },
+            );
+            return;
+        }
+        m.inflight -= 1;
+        if m.inflight == 0 {
+            m.completed = true;
+        }
+    }
+
+    /// Observes the next sequence number stamped (or checked) on a
+    /// context's stream. The first observation per (ctx, dir) seeds the
+    /// expectation; after that each number must be exactly `expected`.
+    ///
+    /// Replay vs gap is discriminated by the modular distance: a number
+    /// more than half the modulus *behind* the expectation is a replayed
+    /// stale descriptor; anything else ahead is a gap. After a gap the
+    /// shadow resynchronises to avoid cascading reports.
+    pub fn observe_seq(&mut self, ctx: ContextId, dir: ShadowDir, seq: u32, modulus: u32) {
+        self.observe_seq_on(0, ctx, dir, seq, modulus);
+    }
+
+    /// Like [`DmaShadow::observe_seq`], but for a specific device:
+    /// context ids are per NIC, so when the same id exists on several
+    /// NICs their streams must not share an expectation.
+    pub fn observe_seq_on(
+        &mut self,
+        nic: u16,
+        ctx: ContextId,
+        dir: ShadowDir,
+        seq: u32,
+        modulus: u32,
+    ) {
+        self.events += 1;
+        let modulus = modulus.max(2);
+        let entry = self.seqs.entry((nic, ctx.0, dir)).or_insert(SeqShadow {
+            expected: seq % modulus,
+            modulus,
+            observed: 0,
+            reseed: false,
+        });
+        entry.observed += 1;
+        if entry.reseed {
+            entry.reseed = false;
+            entry.expected = seq % entry.modulus;
+        }
+        let expected = entry.expected;
+        let m = entry.modulus;
+        if seq % m == expected {
+            entry.expected = (expected + 1) % m;
+            return;
+        }
+        let d = (seq % m + m - expected) % m;
+        if d > m / 2 {
+            record(
+                &mut self.violations,
+                Some(ctx),
+                None,
+                ViolationKind::SequenceReplay {
+                    expected,
+                    found: seq % m,
+                },
+            );
+            // Keep the expectation: a replay does not advance the stream.
+        } else {
+            record(
+                &mut self.violations,
+                Some(ctx),
+                None,
+                ViolationKind::SequenceGap {
+                    expected,
+                    found: seq % m,
+                },
+            );
+            entry.expected = (seq % m + 1) % m; // resync past the gap
+        }
+    }
+
+    /// Forgets one stream's expectation; the next observation reseeds
+    /// it without being checked. For auditors that *sample* a stream
+    /// and know they missed a window (e.g. a descriptor ring that
+    /// wrapped between audit passes) — continuity across the hole
+    /// cannot be judged, and reporting it as a gap would be a false
+    /// positive.
+    pub fn reset_seq_on(&mut self, nic: u16, ctx: ContextId, dir: ShadowDir) {
+        if let Some(entry) = self.seqs.get_mut(&(nic, ctx.0, dir)) {
+            entry.reseed = true;
+        }
+    }
+
+    /// Sequence numbers observed on a context's stream so far, summed
+    /// across devices.
+    pub fn seq_observed(&self, ctx: ContextId, dir: ShadowDir) -> u64 {
+        self.seqs
+            .iter()
+            .filter(|((_, c, d), _)| *c == ctx.0 && *d == dir)
+            .map(|(_, s)| s.observed)
+            .sum()
+    }
+
+    /// Cross-checks the mirror against the real `PhysMem`: every tracked
+    /// page's owner and pin count must match, and `PhysMem`'s aggregate
+    /// outstanding-pin count must equal the mirror's. Divergences are
+    /// recorded and the number found is returned.
+    pub fn audit_mem(&mut self, mem: &PhysMem) -> usize {
+        let before = self.violations.len();
+        let mut mirror_pins: u64 = 0;
+        let mut divergences: Vec<(PageId, String)> = Vec::new();
+        for (&page, m) in &self.pages {
+            mirror_pins += u64::from(m.pins);
+            match mem.info(page) {
+                Ok(real) => {
+                    // A pending-free page shows as owner-less divergence
+                    // candidates; PhysMem keeps the owner until the free
+                    // completes, and so does the mirror.
+                    if real.owner != m.owner {
+                        divergences.push((
+                            page,
+                            format!(
+                                "page {} owner: mirror {:?}, pool {:?}",
+                                page.0, m.owner, real.owner
+                            ),
+                        ));
+                    }
+                    if real.pins != m.pins {
+                        divergences.push((
+                            page,
+                            format!(
+                                "page {} pins: mirror {}, pool {}",
+                                page.0, m.pins, real.pins
+                            ),
+                        ));
+                    }
+                }
+                Err(e) => divergences.push((page, format!("page {}: {e}", page.0))),
+            }
+        }
+        if mem.outstanding_pins() != mirror_pins {
+            divergences.push((
+                PageId(0),
+                format!(
+                    "aggregate pins: mirror {mirror_pins}, pool {}",
+                    mem.outstanding_pins()
+                ),
+            ));
+        }
+        for (page, detail) in divergences {
+            record(
+                &mut self.violations,
+                None,
+                Some(page),
+                ViolationKind::MirrorDivergence { detail },
+            );
+        }
+        self.violations.len() - before
+    }
+
+    /// Cross-checks one context's engine-side pinned list (sequence
+    /// number + first page of each pinned buffer) against the mirror:
+    /// every engine-pinned page must be pinned in the mirror too.
+    /// Returns the number of divergences recorded.
+    pub fn audit_pinned(&mut self, ctx: ContextId, pinned_pages: &[PageId]) -> usize {
+        let before = self.violations.len();
+        for &page in pinned_pages {
+            let ok = self.pages.get(&page).map(|m| m.pins > 0).unwrap_or(false);
+            if !ok {
+                let detail = format!(
+                    "engine holds page {} pinned for ctx {} but mirror shows no pin",
+                    page.0, ctx.0
+                );
+                record(
+                    &mut self.violations,
+                    Some(ctx),
+                    Some(page),
+                    ViolationKind::MirrorDivergence { detail },
+                );
+            }
+        }
+        self.violations.len() - before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(n: u8) -> ContextId {
+        ContextId(n)
+    }
+
+    fn guest() -> DomainId {
+        DomainId::guest(0)
+    }
+
+    #[test]
+    fn clean_lifecycle_no_violations() {
+        let mut s = DmaShadow::new();
+        let p = PageId(7);
+        s.on_alloc(guest(), p);
+        assert_eq!(s.state(p), ShadowState::Owned);
+        s.on_pin(p);
+        assert_eq!(s.state(p), ShadowState::Pinned);
+        s.on_dma_start(ctx(1), p);
+        assert_eq!(s.state(p), ShadowState::InFlight);
+        s.on_dma_complete(ctx(1), p);
+        assert_eq!(s.state(p), ShadowState::Completed);
+        s.on_unpin(p);
+        assert_eq!(s.state(p), ShadowState::Owned);
+        s.on_free(guest(), p);
+        assert_eq!(s.state(p), ShadowState::Free);
+        assert!(s.violations().is_empty());
+        assert_eq!(s.events(), 6);
+    }
+
+    #[test]
+    fn double_pin_detected() {
+        let mut s = DmaShadow::new();
+        let p = PageId(1);
+        s.on_alloc(guest(), p);
+        s.on_pin(p);
+        s.on_dma_start(ctx(0), p);
+        s.on_pin(p); // re-validated while in flight
+        assert_eq!(s.violations().len(), 1);
+        assert_eq!(s.violations()[0].kind, ViolationKind::DoublePin);
+    }
+
+    #[test]
+    fn unpin_underflow_detected() {
+        let mut s = DmaShadow::new();
+        let p = PageId(2);
+        s.on_alloc(guest(), p);
+        s.on_unpin(p);
+        assert_eq!(s.violations()[0].kind, ViolationKind::UnpinUnderflow);
+    }
+
+    #[test]
+    fn free_while_in_flight_detected() {
+        let mut s = DmaShadow::new();
+        let p = PageId(3);
+        s.on_alloc(guest(), p);
+        s.on_pin(p);
+        s.on_dma_start(ctx(0), p);
+        s.on_free(guest(), p);
+        assert!(s
+            .violations()
+            .iter()
+            .any(|v| v.kind == ViolationKind::FreeWhileInFlight));
+    }
+
+    #[test]
+    fn deferred_free_is_legal() {
+        let mut s = DmaShadow::new();
+        let p = PageId(4);
+        s.on_alloc(guest(), p);
+        s.on_pin(p);
+        s.on_free(guest(), p); // deferred, not a violation
+        assert!(s.violations().is_empty());
+        s.on_unpin(p); // completes the free
+        assert_eq!(s.state(p), ShadowState::Free);
+        assert!(s.violations().is_empty());
+    }
+
+    #[test]
+    fn ownership_change_under_pin_detected() {
+        let mut s = DmaShadow::new();
+        let p = PageId(5);
+        s.on_alloc(guest(), p);
+        s.on_pin(p);
+        s.on_transfer(p, guest(), DomainId::guest(1));
+        assert_eq!(
+            s.violations()[0].kind,
+            ViolationKind::OwnershipChangeUnderPin
+        );
+    }
+
+    #[test]
+    fn dma_without_pin_and_pin_without_owner() {
+        let mut s = DmaShadow::new();
+        let p = PageId(6);
+        s.on_pin(p); // never allocated
+        assert_eq!(s.violations()[0].kind, ViolationKind::PinWithoutOwner);
+        let mut s = DmaShadow::new();
+        s.on_alloc(guest(), p);
+        s.on_dma_start(ctx(2), p); // no pin
+        assert_eq!(s.violations()[0].kind, ViolationKind::DmaWithoutPin);
+    }
+
+    #[test]
+    fn sequence_replay_and_gap() {
+        let mut s = DmaShadow::new();
+        let m = 64;
+        s.observe_seq(ctx(0), ShadowDir::Tx, 10, m); // seeds expected = 11
+        s.observe_seq(ctx(0), ShadowDir::Tx, 11, m);
+        s.observe_seq(ctx(0), ShadowDir::Tx, 10, m); // replay
+        assert!(matches!(
+            s.violations()[0].kind,
+            ViolationKind::SequenceReplay {
+                expected: 12,
+                found: 10
+            }
+        ));
+        s.observe_seq(ctx(0), ShadowDir::Tx, 15, m); // gap (12..=14 skipped)
+        assert!(matches!(
+            s.violations()[1].kind,
+            ViolationKind::SequenceGap {
+                expected: 12,
+                found: 15
+            }
+        ));
+        s.observe_seq(ctx(0), ShadowDir::Tx, 16, m); // resynced
+        assert_eq!(s.violations().len(), 2);
+        assert_eq!(s.seq_observed(ctx(0), ShadowDir::Tx), 5);
+    }
+
+    #[test]
+    fn sequence_wraps_cleanly() {
+        let mut s = DmaShadow::new();
+        let m = 8;
+        s.observe_seq(ctx(1), ShadowDir::Rx, 6, m);
+        s.observe_seq(ctx(1), ShadowDir::Rx, 7, m);
+        s.observe_seq(ctx(1), ShadowDir::Rx, 0, m); // wrap
+        s.observe_seq(ctx(1), ShadowDir::Rx, 1, m);
+        assert!(s.violations().is_empty());
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut s = DmaShadow::new();
+        s.observe_seq(ctx(0), ShadowDir::Tx, 0, 16);
+        s.observe_seq(ctx(1), ShadowDir::Tx, 9, 16);
+        s.observe_seq(ctx(0), ShadowDir::Rx, 3, 16);
+        s.observe_seq(ctx(0), ShadowDir::Tx, 1, 16);
+        s.observe_seq(ctx(1), ShadowDir::Tx, 10, 16);
+        assert!(s.violations().is_empty());
+    }
+
+    #[test]
+    fn audit_mem_agrees_with_pool() {
+        let mut mem = PhysMem::new(16);
+        let mut s = DmaShadow::new();
+        let Ok(p) = mem.alloc(guest()) else {
+            unreachable!("fresh pool")
+        };
+        s.on_alloc(guest(), p);
+        assert!(mem.pin(p).is_ok());
+        s.on_pin(p);
+        assert_eq!(s.audit_mem(&mem), 0);
+        // Now diverge: unpin for real but not in the mirror.
+        assert!(mem.unpin(p).is_ok());
+        assert!(s.audit_mem(&mem) > 0);
+        assert!(matches!(
+            s.violations()[0].kind,
+            ViolationKind::MirrorDivergence { .. }
+        ));
+    }
+
+    #[test]
+    fn audit_pinned_catches_ghost_pin() {
+        let mut s = DmaShadow::new();
+        let p = PageId(9);
+        // Engine claims p pinned for ctx 0; mirror never saw a pin.
+        assert_eq!(s.audit_pinned(ctx(0), &[p]), 1);
+        s.on_alloc(guest(), p);
+        s.on_pin(p);
+        assert_eq!(s.audit_pinned(ctx(0), &[p]), 0);
+    }
+
+    #[test]
+    fn display_renders_ctx_and_page() {
+        let v = ShadowViolation {
+            ctx: Some(ctx(3)),
+            page: Some(PageId(12)),
+            kind: ViolationKind::DoublePin,
+        };
+        let text = v.to_string();
+        assert!(text.contains("double-pin"));
+        assert!(text.contains("ctx=3"));
+        assert!(text.contains("page=12"));
+    }
+}

@@ -1,0 +1,211 @@
+//! Seeded-violation corpus: proves every static rule and every
+//! `DmaShadow` violation class actually fires.
+//!
+//! The fixtures live in `tests/corpus/` (a plain directory, so cargo
+//! does not compile them and the repo-wide scan skips them).
+
+use cdna_check::shadow::{DmaShadow, ShadowDir, ViolationKind};
+use cdna_check::{check_manifest, check_source, FileKind};
+use cdna_core::ContextId;
+use cdna_mem::{DomainId, PageId};
+
+fn corpus(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/corpus")
+        .join(name);
+    match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => panic!("corpus fixture {name} unreadable: {e}"),
+    }
+}
+
+fn rules_fired(name: &str, kind: FileKind) -> Vec<&'static str> {
+    let (diags, _) = check_source(name, kind, &corpus(name));
+    diags.iter().map(|d| d.rule).collect()
+}
+
+#[test]
+fn sim_time_rule_fires() {
+    let fired = rules_fired("sim_time.rs", FileKind::Library);
+    // `use std::time::Instant`, `time::Instant` path use, `SystemTime`,
+    // and the struct field type all hit.
+    assert!(fired.iter().filter(|r| **r == "sim-time").count() >= 3);
+}
+
+#[test]
+fn nondeterministic_map_rule_fires() {
+    let fired = rules_fired("nondet_map.rs", FileKind::Library);
+    assert!(
+        fired
+            .iter()
+            .filter(|r| **r == "nondeterministic-map")
+            .count()
+            >= 3,
+        "import + two field types: {fired:?}"
+    );
+}
+
+#[test]
+fn panic_rule_fires_with_exemptions() {
+    let (diags, allows) = check_source("panics.rs", FileKind::Library, &corpus("panics.rs"));
+    let panics: Vec<_> = diags.iter().filter(|d| d.rule == "panic").collect();
+    // unwrap + expect + panic! in `lookup` fire; the annotated unwrap in
+    // `allowed_lookup` and the unwrap inside #[cfg(test)] do not.
+    assert_eq!(panics.len(), 3, "{panics:?}");
+    assert!(panics.iter().all(|d| d.line <= 12));
+    assert_eq!(allows, 1, "the suppression annotation is counted");
+}
+
+#[test]
+fn unsafe_rule_fires_even_in_test_code() {
+    let (diags, _) = check_source(
+        "unsafe_code.rs",
+        FileKind::Library,
+        &corpus("unsafe_code.rs"),
+    );
+    let lines: Vec<u32> = diags
+        .iter()
+        .filter(|d| d.rule == "unsafe")
+        .map(|d| d.line)
+        .collect();
+    assert_eq!(lines.len(), 2, "library + test-module unsafe: {lines:?}");
+}
+
+#[test]
+fn missing_docs_rule_fires() {
+    let (diags, _) = check_source(
+        "missing_docs.rs",
+        FileKind::Library,
+        &corpus("missing_docs.rs"),
+    );
+    let named: Vec<&str> = diags
+        .iter()
+        .filter(|d| d.rule == "missing-docs")
+        .map(|d| d.message.as_str())
+        .collect();
+    assert_eq!(named.len(), 2, "{named:?}");
+    assert!(named.iter().any(|m| m.contains("naked_function")));
+    assert!(named.iter().any(|m| m.contains("NakedStruct")));
+}
+
+#[test]
+fn hermetic_deps_rule_fires() {
+    let diags = check_manifest("bad_manifest.toml", &corpus("bad_manifest.toml"));
+    let names: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
+    // serde, tokio (registry table), rand (subsection), criterion — but
+    // not local-ok (path) or workspace-ok (workspace = true).
+    assert_eq!(diags.len(), 4, "{names:?}");
+    assert!(names.iter().any(|m| m.contains("`serde`")));
+    assert!(names.iter().any(|m| m.contains("`tokio`")));
+    assert!(names.iter().any(|m| m.contains("`rand`")));
+    assert!(names.iter().any(|m| m.contains("`criterion`")));
+}
+
+#[test]
+fn tests_and_examples_exempt_from_panic_and_map_rules() {
+    let (diags, _) = check_source("panics.rs", FileKind::TestOrExample, &corpus("panics.rs"));
+    assert!(diags.is_empty(), "{diags:?}");
+    let (diags, _) = check_source(
+        "nondet_map.rs",
+        FileKind::TestOrExample,
+        &corpus("nondet_map.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// --- DmaShadow violation classes -----------------------------------------
+
+fn kinds(shadow: &DmaShadow) -> Vec<&'static str> {
+    shadow.violations().iter().map(|v| v.kind.name()).collect()
+}
+
+#[test]
+fn shadow_double_pin_fires() {
+    let mut s = DmaShadow::new();
+    let p = PageId(1);
+    s.on_alloc(DomainId::guest(0), p);
+    s.on_pin(p);
+    s.on_dma_start(ContextId(0), p);
+    s.on_pin(p);
+    assert_eq!(kinds(&s), ["double-pin"]);
+}
+
+#[test]
+fn shadow_unpin_underflow_fires() {
+    let mut s = DmaShadow::new();
+    let p = PageId(2);
+    s.on_alloc(DomainId::guest(0), p);
+    s.on_unpin(p);
+    assert_eq!(kinds(&s), ["unpin-underflow"]);
+}
+
+#[test]
+fn shadow_free_while_in_flight_fires() {
+    let mut s = DmaShadow::new();
+    let p = PageId(3);
+    s.on_alloc(DomainId::guest(1), p);
+    s.on_pin(p);
+    s.on_dma_start(ContextId(1), p);
+    s.on_free(DomainId::guest(1), p);
+    assert_eq!(kinds(&s), ["free-while-in-flight"]);
+}
+
+#[test]
+fn shadow_ownership_change_under_pin_fires() {
+    let mut s = DmaShadow::new();
+    let p = PageId(4);
+    s.on_alloc(DomainId::guest(0), p);
+    s.on_pin(p);
+    s.on_transfer(p, DomainId::guest(0), DomainId::DRIVER);
+    assert_eq!(kinds(&s), ["ownership-change-under-pin"]);
+}
+
+#[test]
+fn shadow_dma_without_pin_fires() {
+    let mut s = DmaShadow::new();
+    let p = PageId(5);
+    s.on_alloc(DomainId::guest(0), p);
+    s.on_dma_start(ContextId(2), p);
+    assert_eq!(kinds(&s), ["dma-without-pin"]);
+}
+
+#[test]
+fn shadow_pin_without_owner_fires() {
+    let mut s = DmaShadow::new();
+    s.on_pin(PageId(6));
+    assert_eq!(kinds(&s), ["pin-without-owner"]);
+}
+
+#[test]
+fn shadow_sequence_replay_fires() {
+    let mut s = DmaShadow::new();
+    let (ctx, m) = (ContextId(0), 32);
+    s.observe_seq(ctx, ShadowDir::Tx, 5, m);
+    s.observe_seq(ctx, ShadowDir::Tx, 6, m);
+    s.observe_seq(ctx, ShadowDir::Tx, 5, m); // stale descriptor replayed
+    assert_eq!(kinds(&s), ["sequence-replay"]);
+    assert!(matches!(
+        s.violations()[0].kind,
+        ViolationKind::SequenceReplay {
+            expected: 7,
+            found: 5
+        }
+    ));
+}
+
+#[test]
+fn shadow_sequence_gap_fires() {
+    let mut s = DmaShadow::new();
+    let (ctx, m) = (ContextId(3), 32);
+    s.observe_seq(ctx, ShadowDir::Rx, 0, m);
+    s.observe_seq(ctx, ShadowDir::Rx, 4, m); // 1..=3 skipped
+    assert_eq!(kinds(&s), ["sequence-gap"]);
+}
+
+#[test]
+fn shadow_mirror_divergence_fires() {
+    let mut s = DmaShadow::new();
+    // Engine claims a pinned page the mirror never saw.
+    s.audit_pinned(ContextId(0), &[PageId(9)]);
+    assert_eq!(kinds(&s), ["mirror-divergence"]);
+}

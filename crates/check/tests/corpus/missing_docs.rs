@@ -1,0 +1,10 @@
+//! Corpus fixture: undocumented public items (missing-docs rule).
+
+pub fn naked_function() {}
+
+pub struct NakedStruct;
+
+/// Documented, must not be reported.
+pub fn documented_function() {}
+
+pub(crate) fn restricted_is_exempt() {}

@@ -1,0 +1,12 @@
+//! Corpus fixture: HashMap/HashSet in library code
+//! (nondeterministic-map rule).
+
+use std::collections::{HashMap, HashSet};
+
+/// Report rows keyed nondeterministically.
+pub struct Rows {
+    /// Iterating this for a report is order-unstable.
+    pub by_name: HashMap<String, u64>,
+    /// Same problem.
+    pub seen: HashSet<u32>,
+}

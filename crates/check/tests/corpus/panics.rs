@@ -1,0 +1,28 @@
+//! Corpus fixture: panicking calls in library code (panic rule), with a
+//! test module proving the exemption and an annotated line proving the
+//! suppression.
+
+/// Looks up a value the panicky way.
+pub fn lookup(v: &[u32]) -> u32 {
+    let first = v.first().unwrap();
+    let second = v.get(1).expect("needs two elements");
+    if *first == *second {
+        panic!("duplicates");
+    }
+    *first
+}
+
+/// This one is suppressed and must NOT be reported.
+pub fn allowed_lookup(v: &[u32]) -> u32 {
+    // cdna-check: allow(panic): corpus demonstrates suppression
+    *v.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let v = [1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

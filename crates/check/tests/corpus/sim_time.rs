@@ -1,0 +1,18 @@
+//! Corpus fixture: wall-clock time in simulation code (sim-time rule).
+//! This file is NOT compiled or scanned as part of the repo; the corpus
+//! test feeds it to the checker and asserts the rule fires.
+
+use std::time::Instant;
+
+pub struct Timer {
+    start: Instant,
+}
+
+impl Timer {
+    pub fn elapsed_hack() -> u64 {
+        let t0 = std::time::Instant::now();
+        let wall = std::time::SystemTime::now();
+        drop(wall);
+        t0.elapsed().as_nanos() as u64
+    }
+}

@@ -1,0 +1,17 @@
+//! Corpus fixture: unsafe code (unsafe rule). The rule applies even in
+//! test modules.
+
+/// Reads a raw pointer.
+pub fn peek(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unsafe_in_tests_still_flagged() {
+        let x = 7u32;
+        let y = unsafe { *(&x as *const u32) };
+        assert_eq!(y, 7);
+    }
+}

@@ -30,6 +30,14 @@ pub enum FaultKind {
         /// The unmapped page the DMA touched.
         page: PageId,
     },
+    /// The out-of-band DMA shadow checker (`cdna-check`) observed the
+    /// live system diverging from its mirrored page/sequence state.
+    /// `code` is the checker's stable violation code
+    /// (`cdna_check::shadow::ViolationKind::code`).
+    ShadowViolation {
+        /// Stable violation-class code from the shadow checker.
+        code: u32,
+    },
 }
 
 impl fmt::Display for FaultKind {
@@ -46,6 +54,9 @@ impl fmt::Display for FaultKind {
             }
             FaultKind::IommuViolation { page } => {
                 write!(f, "IOMMU blocked DMA to unmapped {page:?}")
+            }
+            FaultKind::ShadowViolation { code } => {
+                write!(f, "shadow checker divergence (violation code {code})")
             }
         }
     }

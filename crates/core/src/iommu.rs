@@ -14,7 +14,7 @@
 //! on a violation — giving the same isolation as software protection
 //! with different (and measurable) overheads.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use cdna_mem::{BufferSlice, PageId};
 
@@ -73,7 +73,7 @@ pub struct IommuStats {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct PerContextIommu {
-    tables: Vec<Option<HashSet<PageId>>>,
+    tables: Vec<Option<BTreeSet<PageId>>>,
     stats: IommuStats,
 }
 
@@ -95,7 +95,7 @@ impl PerContextIommu {
     /// Turns enforcement on for `ctx` with an empty mapping table.
     pub fn enable(&mut self, ctx: ContextId) {
         assert!(ctx.is_valid(), "context {ctx} out of range");
-        self.tables[ctx.0 as usize] = Some(HashSet::new());
+        self.tables[ctx.0 as usize] = Some(BTreeSet::new());
     }
 
     /// Turns enforcement off for `ctx`, dropping its mappings.
@@ -120,7 +120,7 @@ impl PerContextIommu {
     pub fn map(&mut self, ctx: ContextId, page: PageId) -> bool {
         let table = self.tables[ctx.0 as usize]
             .as_mut()
-            .expect("mapping into disabled IOMMU context");
+            .expect("mapping into disabled IOMMU context"); // cdna-check: allow(panic): caller enables the context first
         let new = table.insert(page);
         if new {
             self.stats.maps += 1;
@@ -177,7 +177,7 @@ impl PerContextIommu {
         self.tables
             .get(ctx.0 as usize)
             .and_then(Option::as_ref)
-            .map(HashSet::len)
+            .map(BTreeSet::len)
             .unwrap_or(0)
     }
 }

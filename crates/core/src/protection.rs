@@ -19,7 +19,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 
-use cdna_mem::{BufferSlice, DomainId, MemError, PhysMem};
+use cdna_mem::{BufferSlice, DomainId, MemError, PageId, PhysMem};
 use cdna_nic::{DescFlags, DmaDescriptor, FrameMeta, RingTable};
 
 use crate::{ContextError, ContextId, ContextState, ContextTable, SeqStamper};
@@ -155,18 +155,18 @@ impl Direction {
         }
     }
 
-    fn reap(&mut self, nic_consumer: u64, mem: &mut PhysMem) -> u32 {
+    fn reap(&mut self, nic_consumer: u64, mem: &mut PhysMem) -> Result<u32, MemError> {
         let mut reaped = 0;
         while let Some(&(idx, buf)) = self.pinned.front() {
             if idx >= nic_consumer {
                 break;
             }
-            mem.unpin_slice(&buf).expect("pinned buffer must unpin");
+            mem.unpin_slice(&buf)?;
             self.pinned.pop_front();
             self.reaped = idx + 1;
             reaped += 1;
         }
-        reaped
+        Ok(reaped)
     }
 }
 
@@ -291,7 +291,7 @@ impl ProtectionEngine {
         let state = self.table.revoke(ctx)?;
         if let Some(prot) = self.ctxs[ctx.0 as usize].take() {
             for (_, buf) in prot.tx.pinned.iter().chain(prot.rx.pinned.iter()) {
-                mem.unpin_slice(buf).expect("pinned buffer must unpin");
+                mem.unpin_slice(buf)?;
             }
         }
         Ok(state)
@@ -314,11 +314,15 @@ impl ProtectionEngine {
         mem: &mut PhysMem,
     ) -> Result<EnqueueOutcome, ProtectionError> {
         let state = self.precheck(ctx, caller)?;
+        // Rings are created at assign_context and never destroyed, and a
+        // precheck-passing ctx always has its CtxProtection slot filled.
+        // cdna-check: allow(panic): internal invariant, see comment above
         let ring_size = rings.get(state.tx_ring).expect("ring exists").size();
         self.stats.hypercalls += 1;
 
+        // cdna-check: allow(panic): internal invariant, see comment above
         let prot = self.ctxs[ctx.0 as usize].as_mut().expect("assigned");
-        let reaped = prot.tx.reap(nic_consumer, mem);
+        let reaped = prot.tx.reap(nic_consumer, mem)?;
 
         // Capacity: outstanding (unconsumed by NIC) + new must fit.
         let outstanding = prot.tx.producer - nic_consumer.min(prot.tx.producer);
@@ -348,7 +352,7 @@ impl ProtectionEngine {
                     mem.pin(page).map_err(ProtectionError::Mem)?;
                 }
             } else {
-                mem.pin_slice(caller, &req.buf).expect("validated above");
+                mem.pin_slice(caller, &req.buf)?;
             }
             pages += req.buf.page_count();
             let mut desc = DmaDescriptor::tx(req.buf, req.flags, req.meta);
@@ -356,6 +360,7 @@ impl ProtectionEngine {
             let idx = prot.tx.producer;
             rings
                 .get_mut(state.tx_ring)
+                // cdna-check: allow(panic): ring created at assign_context
                 .expect("ring exists")
                 .write_at(idx, desc);
             prot.tx.pinned.push_back((idx, req.buf));
@@ -387,11 +392,15 @@ impl ProtectionEngine {
         mem: &mut PhysMem,
     ) -> Result<EnqueueOutcome, ProtectionError> {
         let state = self.precheck(ctx, caller)?;
+        // Same internal invariants as enqueue_tx (rings and slots are
+        // created at assign_context and outlive the context).
+        // cdna-check: allow(panic): internal invariant, see comment above
         let ring_size = rings.get(state.rx_ring).expect("ring exists").size();
         self.stats.hypercalls += 1;
 
+        // cdna-check: allow(panic): internal invariant, see comment above
         let prot = self.ctxs[ctx.0 as usize].as_mut().expect("assigned");
-        let reaped = prot.rx.reap(nic_consumer, mem);
+        let reaped = prot.rx.reap(nic_consumer, mem)?;
 
         let outstanding = prot.rx.producer - nic_consumer.min(prot.rx.producer);
         if outstanding + reqs.len() as u64 > ring_size as u64 {
@@ -408,13 +417,14 @@ impl ProtectionEngine {
 
         let mut pages = 0;
         for req in reqs {
-            mem.pin_slice(caller, &req.buf).expect("validated above");
+            mem.pin_slice(caller, &req.buf)?;
             pages += req.buf.page_count();
             let mut desc = DmaDescriptor::rx(req.buf);
             desc.seq = prot.rx.stamper.next();
             let idx = prot.rx.producer;
             rings
                 .get_mut(state.rx_ring)
+                // cdna-check: allow(panic): ring created at assign_context
                 .expect("ring exists")
                 .write_at(idx, desc);
             prot.rx.pinned.push_back((idx, req.buf));
@@ -441,8 +451,9 @@ impl ProtectionEngine {
         mem: &mut PhysMem,
     ) -> Result<u32, ProtectionError> {
         self.table.state(ctx)?;
+        // cdna-check: allow(panic): slot filled while the ctx is assigned
         let prot = self.ctxs[ctx.0 as usize].as_mut().expect("assigned");
-        Ok(prot.tx.reap(nic_tx_consumer, mem) + prot.rx.reap(nic_rx_consumer, mem))
+        Ok(prot.tx.reap(nic_tx_consumer, mem)? + prot.rx.reap(nic_rx_consumer, mem)?)
     }
 
     /// Buffers currently pinned on behalf of `ctx` (both directions).
@@ -451,6 +462,32 @@ impl ProtectionEngine {
             .as_ref()
             .map(|p| p.tx.pinned.len() + p.rx.pinned.len())
             .unwrap_or(0)
+    }
+
+    /// Audit view for external invariant checkers (cdna-check's
+    /// `DmaShadow`): every page the engine currently holds pinned for
+    /// `ctx`, across both directions, in ring order.
+    pub fn pinned_pages(&self, ctx: ContextId) -> Vec<PageId> {
+        self.ctxs
+            .get(ctx.0 as usize)
+            .and_then(|slot| slot.as_ref())
+            .map(|p| {
+                p.tx.pinned
+                    .iter()
+                    .chain(p.rx.pinned.iter())
+                    .flat_map(|(_, buf)| buf.pages())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Audit view: the (tx, rx) producer indices for `ctx`, or `None`
+    /// if the context is not assigned.
+    pub fn producers(&self, ctx: ContextId) -> Option<(u64, u64)> {
+        self.ctxs
+            .get(ctx.0 as usize)
+            .and_then(|slot| slot.as_ref())
+            .map(|p| (p.tx.producer, p.rx.producer))
     }
 
     fn precheck(

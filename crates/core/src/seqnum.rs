@@ -203,6 +203,50 @@ mod tests {
     }
 
     #[test]
+    fn forward_gap_detected() {
+        // A skipped descriptor (gap) is just as much a discontinuity as
+        // a replayed one: the checker faults without advancing.
+        let mut s = SeqStamper::new(16);
+        let mut c = SeqChecker::new(16);
+        c.check(s.next()).unwrap();
+        c.check(s.next()).unwrap();
+        let skipped = s.next(); // seq 2 never reaches the checker
+        let ahead = s.next(); // seq 3
+        let err = c.check(ahead).unwrap_err();
+        assert_eq!(
+            err,
+            FaultKind::StaleSequence {
+                expected: 2,
+                found: 3
+            }
+        );
+        // The stream recovers once the missing descriptor shows up.
+        c.check(skipped).unwrap();
+        c.check(ahead).unwrap();
+        assert_eq!(c.checked(), 4);
+    }
+
+    #[test]
+    fn gap_detected_across_wrap() {
+        // Continuity is checked modulo the sequence space: a gap that
+        // straddles the wrap point is still caught.
+        let mut c = SeqChecker::new(4);
+        for seq in [0, 1, 2] {
+            c.check(seq).unwrap();
+        }
+        let err = c.check(0).unwrap_err(); // 3 skipped, wrapped to 0
+        assert_eq!(
+            err,
+            FaultKind::StaleSequence {
+                expected: 3,
+                found: 0
+            }
+        );
+        c.check(3).unwrap();
+        c.check(0).unwrap();
+    }
+
+    #[test]
     fn reset_rearms_from_zero() {
         let mut c = SeqChecker::new(8);
         c.check(0).unwrap();

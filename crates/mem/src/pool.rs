@@ -139,9 +139,7 @@ impl PhysMem {
         if (self.free_list.len() as u32) < n {
             return Err(MemError::OutOfMemory);
         }
-        Ok((0..n)
-            .map(|_| self.alloc(owner).expect("checked free count"))
-            .collect())
+        (0..n).map(|_| self.alloc(owner)).collect()
     }
 
     /// Allocates `n` physically contiguous pages to `owner` (for
@@ -167,14 +165,9 @@ impl PhysMem {
                 }
                 run_len += 1;
                 if run_len == n {
+                    let run = PageId(run_start)..=PageId(id);
+                    self.free_list.retain(|q| !run.contains(q));
                     for p in run_start..=id {
-                        let page = PageId(p);
-                        let pos = self
-                            .free_list
-                            .iter()
-                            .position(|&q| q == page)
-                            .expect("page was free");
-                        self.free_list.remove(pos);
                         self.pages[p as usize] = PageInfo {
                             owner: Some(owner),
                             pins: 0,
@@ -252,7 +245,7 @@ impl PhysMem {
     pub fn pin_slice(&mut self, owner: DomainId, slice: &BufferSlice) -> Result<(), MemError> {
         self.validate_slice(owner, slice)?;
         for page in slice.pages() {
-            self.pin(page).expect("validated page exists");
+            self.pin(page)?;
         }
         Ok(())
     }
@@ -454,6 +447,75 @@ mod tests {
     fn no_such_page() {
         let mem = PhysMem::new(1);
         assert_eq!(mem.info(PageId(9)), Err(MemError::NoSuchPage(PageId(9))));
+    }
+
+    #[test]
+    fn no_such_page_on_pin_and_unpin() {
+        let mut mem = PhysMem::new(1);
+        let ghost = PageId(5);
+        assert_eq!(mem.pin(ghost), Err(MemError::NoSuchPage(ghost)));
+        assert_eq!(mem.unpin(ghost), Err(MemError::NoSuchPage(ghost)));
+        assert_eq!(mem.total_pins(), 0, "failed pin must not count");
+    }
+
+    #[test]
+    fn not_owner_reports_claimed_and_actual() {
+        let mut mem = PhysMem::new(2);
+        let p = mem.alloc(guest(3)).unwrap();
+        // Wrong claimant against a live owner.
+        assert_eq!(
+            mem.free(guest(7), p),
+            Err(MemError::NotOwner {
+                page: p,
+                claimed: guest(7),
+                actual: Some(guest(3)),
+            })
+        );
+        // Against a free page the actual owner is reported as None.
+        mem.free(guest(3), p).unwrap();
+        assert_eq!(
+            mem.transfer(p, guest(3), guest(4)),
+            Err(MemError::NotOwner {
+                page: p,
+                claimed: guest(3),
+                actual: None,
+            })
+        );
+    }
+
+    #[test]
+    fn every_mem_error_variant_displays_distinctly() {
+        let p = PageId(1);
+        let errors = [
+            MemError::OutOfMemory,
+            MemError::NoSuchPage(p),
+            MemError::NotOwner {
+                page: p,
+                claimed: guest(0),
+                actual: Some(guest(1)),
+            },
+            MemError::Pinned(p),
+            MemError::NotPinned(p),
+        ];
+        let rendered: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
+        for (i, a) in rendered.iter().enumerate() {
+            assert!(!a.is_empty());
+            for b in rendered.iter().skip(i + 1) {
+                assert_ne!(a, b, "error messages must be distinguishable");
+            }
+        }
+    }
+
+    #[test]
+    fn unpin_slice_stops_at_first_underflow() {
+        let mut mem = PhysMem::new(4);
+        let pages = mem.alloc_many(guest(0), 2).unwrap();
+        let slice = BufferSlice::new(pages[0].base_addr(), (crate::PAGE_SIZE * 2) as u32);
+        // Only the first page is pinned; the slice unpin trips on the
+        // second and reports exactly which page underflowed.
+        mem.pin(pages[0]).unwrap();
+        assert_eq!(mem.unpin_slice(&slice), Err(MemError::NotPinned(pages[1])));
+        assert_eq!(mem.outstanding_pins(), 0, "first page was unpinned");
     }
 
     #[test]

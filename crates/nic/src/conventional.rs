@@ -287,7 +287,7 @@ impl ConventionalNic {
             debug_assert!(head.frames_left > 0);
             head.frames_left -= 1;
             if head.frames_left == 0 {
-                let done = self.inflight.pop_front().expect("nonempty");
+                let done = self.inflight.pop_front().expect("nonempty"); // cdna-check: allow(panic): guarded by frames_left
                 self.tx_completed = done.idx + 1;
                 completed_any = true;
                 // Consumer-index writeback to host memory.
@@ -382,7 +382,7 @@ impl ConventionalNic {
 
             let meta = desc
                 .meta
-                .expect("transmit descriptor without frame metadata");
+                .expect("transmit descriptor without frame metadata"); // cdna-check: allow(panic): tx descriptors always carry meta
             let segments: Vec<u32> = if desc.flags.contains(DescFlags::TSO) {
                 assert!(self.cfg.tso, "TSO descriptor on non-TSO device");
                 framing::segment_tcp_payload(meta.tcp_payload as u64)

@@ -113,6 +113,13 @@ pub struct TestbedConfig {
     /// the paper does not evaluate). Requires at least two guests and
     /// [`Direction::Transmit`].
     pub inter_guest: bool,
+    /// Run the `cdna-check` DMA shadow checker alongside the
+    /// simulation: mirror page ownership/pinning and per-context
+    /// descriptor sequence streams, and cross-check the mirror against
+    /// the live [`cdna_mem::PhysMem`] and protection engine at
+    /// measurement boundaries. Divergence surfaces as
+    /// [`cdna_core::FaultKind::ShadowViolation`] protection faults.
+    pub shadow_check: bool,
     /// The cost model (override for ablations).
     pub costs: CostModel,
     /// RiceNIC firmware configuration (override for ablations, e.g. the
@@ -139,6 +146,7 @@ impl TestbedConfig {
             hypercall_batch: 10,
             notify_batch: 16,
             inter_guest: false,
+            shadow_check: false,
             costs: CostModel::default(),
             ricenic: RiceNicConfig::default(),
         }
@@ -160,6 +168,13 @@ impl TestbedConfig {
     /// Sets the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enables the DMA shadow checker (see
+    /// [`TestbedConfig::shadow_check`]).
+    pub fn with_shadow_check(mut self) -> Self {
+        self.shadow_check = true;
         self
     }
 

@@ -6,13 +6,25 @@
 //! in the substrate crates. The world interprets NIC activity into
 //! scheduled events, runs domains on the single CPU in scheduler order,
 //! and charges every code path's cost to the execution-profile ledger.
+//!
+//! # Panics
+//!
+//! Unlike the substrate crates, the world is the top of the simulation:
+//! there is no caller to propagate errors to, and a broken invariant
+//! here (a lost mailbox, an unassigned context in the run queue) means
+//! the simulated machine itself is inconsistent. Those states abort the
+//! run immediately rather than produce a silently wrong benchmark.
+// cdna-check: allow-file(panic): simulation top level — invariant
+// breaks abort the run; there is no caller to return an error to.
 
 use std::collections::VecDeque;
 
+use cdna_check::shadow::{DmaShadow, ShadowDir, ShadowState};
 use cdna_core::{
-    layout::Mailbox, BitVectorRing, ContextId, DmaPolicy, ProtectionEngine, ProtectionFault,
+    layout::Mailbox, BitVectorRing, ContextId, DmaPolicy, FaultKind, ProtectionEngine,
+    ProtectionFault,
 };
-use cdna_mem::{BufferSlice, DomainId, PhysMem};
+use cdna_mem::{BufferSlice, DomainId, PageId, PhysMem};
 use cdna_net::{framing, FlowId, Frame, GigabitWire, MacAddr, PciBus, WireDirection};
 use cdna_nic::{
     ConventionalNic, FrameMeta, IrqReason, NicConfig, RingTable, RxDisposition, TxEmission,
@@ -174,6 +186,7 @@ struct HotIds {
     guest_virq: CounterId,
     driver_virq: CounterId,
     world_switches: CounterId,
+    shadow_violations: CounterId,
 }
 
 impl HotIds {
@@ -187,8 +200,32 @@ impl HotIds {
                 "sched",
                 "world_switches",
             )),
+            shadow_violations: reg.counter(MetricKey::new(
+                Domain::Global,
+                "check",
+                "shadow_violations",
+            )),
         }
     }
+}
+
+/// Live state of the `cdna-check` DMA shadow checker
+/// ([`TestbedConfig::shadow_check`]).
+///
+/// The world feeds the shadow by *reconciliation* rather than by inline
+/// events: the hot path stays untouched, and at each sync point the
+/// harness replays the descriptor sequence streams the hypervisor
+/// produced since the last pass, diffs the engines' pinned-buffer lists
+/// into the page mirror, and then runs the mirror-vs-reality audits.
+#[derive(Debug, Default)]
+struct ShadowHarness {
+    shadow: DmaShadow,
+    /// Next unread descriptor-ring index per (nic, ctx, dir).
+    cursors: std::collections::BTreeMap<(usize, u8, ShadowDir), u64>,
+    /// The engines' pinned-page multiset as of the last sync.
+    pinned_view: std::collections::BTreeMap<PageId, u32>,
+    /// Violations already surfaced as protection faults.
+    reported: usize,
 }
 
 #[derive(Debug, Default, Clone, Copy)]
@@ -257,10 +294,10 @@ pub struct SystemWorld {
     /// Per-NIC peer traffic sources (receive direction).
     pub peers: Vec<Option<crate::PeerSource>>,
     /// flow → destination MAC for peer-generated traffic.
-    flow_dst: std::collections::HashMap<FlowId, MacAddr>,
+    flow_dst: std::collections::BTreeMap<FlowId, MacAddr>,
     /// Per-NIC MACs whose frames the external switch hairpins back to
     /// this host (CDNA inter-VM traffic; empty otherwise).
-    hairpin_macs: Vec<std::collections::HashSet<MacAddr>>,
+    hairpin_macs: Vec<std::collections::BTreeSet<MacAddr>>,
     /// Per-guest, per-NIC CDNA context ids.
     pub ctx_of: Vec<Vec<ContextId>>,
     /// Protection faults observed.
@@ -275,6 +312,9 @@ pub struct SystemWorld {
     /// [`SystemWorld::collect_metrics`] at report time.
     pub registry: Registry,
     hot: HotIds,
+    /// DMA shadow checker, present when [`TestbedConfig::shadow_check`]
+    /// is set.
+    shadow: Option<ShadowHarness>,
 
     cpu_busy_until: SimTime,
     dispatch_pending: bool,
@@ -322,6 +362,19 @@ impl World for SystemWorld {
                     );
                 }
                 self.on_stop_measure(now);
+                if self.shadow.is_some() {
+                    let new = self.shadow_sync();
+                    if let Some(t) = sched.tracer_mut() {
+                        t.instant(
+                            "shadow_audit",
+                            "check",
+                            now.as_ns(),
+                            trace::PID_CPU,
+                            0,
+                            Some(("violations", new as u64)),
+                        );
+                    }
+                }
             }
         }
     }
@@ -527,6 +580,7 @@ impl SystemWorld {
         let nic_total = cfg.nics;
         let mut registry = Registry::new();
         let hot = HotIds::new(&mut registry);
+        let shadow = cfg.shadow_check.then(ShadowHarness::default);
         let mut world = SystemWorld {
             cfg,
             mem,
@@ -544,7 +598,7 @@ impl SystemWorld {
             domains,
             meters: Meters::default(),
             peers: Vec::new(),
-            flow_dst: std::collections::HashMap::new(),
+            flow_dst: std::collections::BTreeMap::new(),
             hairpin_macs: (0..nic_total).map(|_| Default::default()).collect(),
             ctx_of,
             faults: Vec::new(),
@@ -552,6 +606,7 @@ impl SystemWorld {
             rng,
             registry,
             hot,
+            shadow,
             cpu_busy_until: SimTime::ZERO,
             dispatch_pending: false,
             pending_irqs: VecDeque::new(),
@@ -805,6 +860,148 @@ impl SystemWorld {
         self.meters.in_window = false;
     }
 
+    /// Read-only view of the live DMA shadow checker, when
+    /// [`TestbedConfig::shadow_check`] is set.
+    pub fn shadow(&self) -> Option<&DmaShadow> {
+        self.shadow.as_ref().map(|h| &h.shadow)
+    }
+
+    /// Runs one shadow-checker synchronisation pass (no-op unless
+    /// [`TestbedConfig::shadow_check`] is set):
+    ///
+    /// 1. replays every descriptor the hypervisor stamped since the
+    ///    last pass into the shadow's per-(context, direction)
+    ///    sequence streams (detects replay and gaps);
+    /// 2. reconciles the protection engines' pinned-buffer lists into
+    ///    the page mirror (detects pin-lifecycle violations);
+    /// 3. cross-checks the mirror against the engines and — in CDNA
+    ///    mode, where every pin traces back to a validated
+    ///    descriptor — against the whole [`PhysMem`] pool. (Xen's
+    ///    grant-mapping path pins pages outside the engines, so the
+    ///    whole-pool audit is only sound without a driver domain.)
+    ///
+    /// New violations become [`FaultKind::ShadowViolation`] protection
+    /// faults attributed to the offending context; the count of new
+    /// violations is returned. Called automatically at
+    /// [`Event::StopMeasure`]; callers may also invoke it directly at
+    /// any quiescent point.
+    pub fn shadow_sync(&mut self) -> usize {
+        let Some(h) = self.shadow.as_mut() else {
+            return 0;
+        };
+        let modulus = (self.cfg.ring_size * 2).max(4);
+        // One pass over every assigned context: gather the engine-side
+        // pinned lists and replay newly produced descriptors.
+        let mut pinned_lists: Vec<(ContextId, Vec<PageId>)> = Vec::new();
+        for (nic, engine) in self.engines.iter().enumerate() {
+            for c in 0..=u8::MAX {
+                let ctx = ContextId(c);
+                let Ok(st) = engine.contexts().state(ctx) else {
+                    continue;
+                };
+                pinned_lists.push((ctx, engine.pinned_pages(ctx)));
+                // Only the hypervisor stamps sequence numbers
+                // (Validated policy); direct and IOMMU descriptors
+                // carry seq 0 and are not stream-checked.
+                if st.policy != DmaPolicy::Validated {
+                    continue;
+                }
+                let Some((txp, rxp)) = engine.producers(ctx) else {
+                    continue;
+                };
+                for (dir, ring, prod) in [
+                    (ShadowDir::Tx, st.tx_ring, txp),
+                    (ShadowDir::Rx, st.rx_ring, rxp),
+                ] {
+                    let cur = h.cursors.entry((nic, c, dir)).or_insert(0);
+                    // Only the last ring-size descriptors still exist;
+                    // older slots have been overwritten by later laps.
+                    // If the ring wrapped past the cursor since the
+                    // last pass, skip ahead and reseed the stream — the
+                    // hole's continuity cannot be judged from memory.
+                    let oldest = prod.saturating_sub(u64::from(self.cfg.ring_size));
+                    if *cur < oldest {
+                        h.shadow.reset_seq_on(nic as u16, ctx, dir);
+                        *cur = oldest;
+                    }
+                    while *cur < prod {
+                        if let Ok(desc) = self.rings.read(ring, *cur) {
+                            h.shadow
+                                .observe_seq_on(nic as u16, ctx, dir, desc.seq, modulus);
+                        }
+                        *cur += 1;
+                    }
+                }
+            }
+        }
+        // Reconcile the engines' pinned multiset into the page mirror.
+        let mut desired: std::collections::BTreeMap<PageId, u32> = Default::default();
+        for (_, pages) in &pinned_lists {
+            for &page in pages {
+                *desired.entry(page).or_insert(0) += 1;
+            }
+        }
+        let keys: std::collections::BTreeSet<PageId> = h
+            .pinned_view
+            .keys()
+            .chain(desired.keys())
+            .copied()
+            .collect();
+        for page in keys {
+            let have = h.pinned_view.get(&page).copied().unwrap_or(0);
+            let want = desired.get(&page).copied().unwrap_or(0);
+            if want > have && h.shadow.state(page) == ShadowState::Free {
+                // First sighting: seed ownership from the live pool. An
+                // unowned page stays untracked and the pin below is
+                // flagged as pin-without-owner — a real violation.
+                if let Ok(info) = self.mem.info(page) {
+                    if let Some(owner) = info.owner {
+                        h.shadow.on_alloc(owner, page);
+                    }
+                }
+            }
+            for _ in have..want {
+                h.shadow.on_pin(page);
+            }
+            for _ in want..have {
+                h.shadow.on_unpin(page);
+            }
+            if want == 0 {
+                // Fully reaped: retire the mirror entry so the mirror
+                // tracks exactly the engine-pinned set.
+                if let Some(owner) = h.shadow.owner(page) {
+                    h.shadow.on_free(owner, page);
+                }
+            }
+        }
+        h.pinned_view = desired;
+        // Mirror-vs-reality audits.
+        for (ctx, pages) in &pinned_lists {
+            h.shadow.audit_pinned(*ctx, pages);
+        }
+        if matches!(self.cfg.io_model, IoModel::Cdna { .. }) {
+            h.shadow.audit_mem(&self.mem);
+        }
+        // Surface new violations as per-guest protection faults.
+        let new = &h.shadow.violations()[h.reported..];
+        let count = new.len();
+        let faults: Vec<ProtectionFault> = new
+            .iter()
+            .map(|v| ProtectionFault {
+                ctx: v.ctx.unwrap_or(ContextId(0)),
+                kind: FaultKind::ShadowViolation {
+                    code: v.kind.code(),
+                },
+            })
+            .collect();
+        h.reported += count;
+        self.faults.extend(faults);
+        for _ in 0..count {
+            self.registry.inc(self.hot.shadow_violations);
+        }
+        count
+    }
+
     /// Counter deltas over the measurement window.
     pub fn window_deltas(&self) -> (u64, u64, u64, u64) {
         let s = self.meters.start_snap;
@@ -839,6 +1036,12 @@ impl SystemWorld {
             MetricKey::new(Domain::Global, "world", "protection_faults"),
             self.faults.len() as u64,
         );
+        if let Some(h) = &self.shadow {
+            let key = |metric| MetricKey::new(Domain::Global, "check", metric);
+            reg.set_by_key(key("shadow_events"), h.shadow.events());
+            reg.set_by_key(key("shadow_pages_tracked"), h.shadow.pages_tracked() as u64);
+            reg.set_by_key(key("shadow_seq_streams"), h.cursors.len() as u64);
+        }
         // DMA protection engines live in the hypervisor, one per NIC.
         for (i, engine) in self.engines.iter().enumerate() {
             let s = engine.stats();

@@ -6,7 +6,7 @@
 //! bounds-checked array add — no hashing, no allocation — so they are
 //! safe on the simulation's hot paths.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::json::JsonWriter;
@@ -117,10 +117,10 @@ pub struct HistogramId(usize);
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct Registry {
-    counter_index: HashMap<MetricKey, usize>,
+    counter_index: BTreeMap<MetricKey, usize>,
     counter_keys: Vec<MetricKey>,
     counters: Vec<u64>,
-    hist_index: HashMap<MetricKey, usize>,
+    hist_index: BTreeMap<MetricKey, usize>,
     hist_keys: Vec<MetricKey>,
     hists: Vec<Histogram>,
 }

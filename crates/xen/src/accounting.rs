@@ -14,14 +14,14 @@
 //! unsliced accumulation, while the per-slice samples additionally
 //! provide the idle-over-time curves of Figures 3/4.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use cdna_mem::DomainId;
 use cdna_sim::SimTime;
 use cdna_trace::{ProfileLedger, ProfileSample};
 
 /// Where a slice of CPU time was spent.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ExecCategory {
     /// Inside the hypervisor (interrupt dispatch, hypercalls, page flips,
     /// DMA validation, scheduling).
@@ -36,13 +36,13 @@ pub enum ExecCategory {
 
 /// Sampler bucket indices for the paper's six profile columns.
 mod bucket {
-    pub const HYPERVISOR: usize = 0;
-    pub const DRIVER_KERNEL: usize = 1;
-    pub const DRIVER_USER: usize = 2;
-    pub const GUEST_KERNEL: usize = 3;
-    pub const GUEST_USER: usize = 4;
-    pub const IDLE: usize = 5;
-    pub const COUNT: usize = 6;
+    pub(super) const HYPERVISOR: usize = 0;
+    pub(super) const DRIVER_KERNEL: usize = 1;
+    pub(super) const DRIVER_USER: usize = 2;
+    pub(super) const GUEST_KERNEL: usize = 3;
+    pub(super) const GUEST_USER: usize = 4;
+    pub(super) const IDLE: usize = 5;
+    pub(super) const COUNT: usize = 6;
 }
 
 fn bucket_of(cat: ExecCategory) -> usize {
@@ -80,7 +80,7 @@ pub const DEFAULT_SLICE_NS: u64 = 10_000_000;
 /// ```
 #[derive(Debug, Clone)]
 pub struct CpuLedger {
-    charges: HashMap<ExecCategory, SimTime>,
+    charges: BTreeMap<ExecCategory, SimTime>,
     sampler: ProfileLedger,
     window_start: SimTime,
     window_end: Option<SimTime>,
@@ -103,7 +103,7 @@ impl CpuLedger {
     /// A ledger with an explicit sampling-slice width.
     pub fn with_slice_ns(slice_ns: u64) -> Self {
         CpuLedger {
-            charges: HashMap::new(),
+            charges: BTreeMap::new(),
             sampler: ProfileLedger::new(bucket::COUNT, slice_ns),
             window_start: SimTime::ZERO,
             window_end: None,
@@ -190,7 +190,7 @@ impl CpuLedger {
     /// the boundary tolerance.
     pub fn profile(&self) -> ExecutionProfile {
         assert!(!self.recording, "profile requested while window open");
-        let end = self.window_end.expect("window was never opened");
+        let end = self.window_end.expect("window was never opened"); // cdna-check: allow(panic): documented precondition, asserted above
         let span = end - self.window_start;
         let span_s = span.as_secs_f64();
         assert!(span_s > 0.0, "empty measurement window");

@@ -6,7 +6,7 @@
 //! backend. CDNA's whole point is to remove this component from the data
 //! path, so it must exist to be removed.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use cdna_mem::DomainId;
 use cdna_net::MacAddr;
@@ -37,7 +37,7 @@ pub enum BridgePort {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct EthernetBridge {
-    table: HashMap<MacAddr, BridgePort>,
+    table: BTreeMap<MacAddr, BridgePort>,
     lookups: u64,
     misses: u64,
 }

@@ -1,6 +1,6 @@
 //! Event channels — Xen's virtual interrupts.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use cdna_mem::DomainId;
 
@@ -40,7 +40,7 @@ pub enum VirtualIrq {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct EventChannels {
-    pending: HashMap<DomainId, Vec<VirtualIrq>>,
+    pending: BTreeMap<DomainId, Vec<VirtualIrq>>,
     sent: u64,
     coalesced: u64,
 }

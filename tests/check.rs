@@ -1,0 +1,109 @@
+//! Tier-1 coverage for the `cdna-check` subsystem: the static pass run
+//! against this repository, and the dynamic `DmaShadow` checker wired
+//! into [`SystemWorld`] behind [`TestbedConfig::shadow_check`].
+
+use cdna_check::{check_repo, workspace_root};
+use cdna_core::{DmaPolicy, FaultKind};
+use cdna_mem::DomainId;
+use cdna_sim::Simulation;
+use cdna_system::{run_experiment, Direction, IoModel, SystemWorld, TestbedConfig};
+
+fn cdna_cfg(policy: DmaPolicy, guests: u16, dir: Direction) -> TestbedConfig {
+    TestbedConfig::new(IoModel::Cdna { policy }, guests, dir).quick()
+}
+
+/// The repository itself must stay clean under the static rules; this
+/// runs in the root package so tier-1 `cargo test` enforces it.
+#[test]
+fn repository_is_clean_under_static_analysis() {
+    let report = check_repo(&workspace_root()).expect("repo scan");
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.render()).collect();
+    assert!(
+        report.clean(),
+        "static violations:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn shadow_checked_cdna_runs_are_clean() {
+    for dir in [Direction::Transmit, Direction::Receive] {
+        let r = run_experiment(cdna_cfg(DmaPolicy::Validated, 2, dir).with_shadow_check());
+        assert_eq!(r.protection_faults, 0, "{dir:?}");
+        assert!(r.throughput_mbps > 0.0, "{dir:?}");
+    }
+}
+
+#[test]
+fn shadow_checker_does_not_perturb_the_simulation() {
+    // The shadow is an observer: enabling it must not change a single
+    // simulated outcome.
+    let plain = run_experiment(cdna_cfg(DmaPolicy::Validated, 2, Direction::Transmit));
+    let checked =
+        run_experiment(cdna_cfg(DmaPolicy::Validated, 2, Direction::Transmit).with_shadow_check());
+    assert_eq!(plain.packets, checked.packets);
+    assert_eq!(plain.throughput_mbps, checked.throughput_mbps);
+    assert_eq!(plain.events_processed, checked.events_processed);
+}
+
+#[test]
+fn shadow_observes_live_sequence_streams() {
+    use cdna_check::shadow::ShadowDir;
+    let cfg = cdna_cfg(DmaPolicy::Validated, 2, Direction::Transmit).with_shadow_check();
+    let end = cfg.warmup + cfg.measure;
+    let mut sim = Simulation::new(SystemWorld::build(cfg));
+    let primed = sim.world_mut().prime();
+    for (t, e) in primed {
+        sim.schedule(t, e);
+    }
+    sim.run_until(end);
+    let world = sim.into_world();
+    let shadow = world.shadow().expect("shadow enabled");
+    assert!(shadow.violations().is_empty(), "{:?}", shadow.violations());
+    let ctx = world.ctx_of[0][0];
+    assert!(
+        shadow.seq_observed(ctx, ShadowDir::Tx) > 0,
+        "transmit stream unobserved"
+    );
+    assert!(
+        shadow.seq_observed(ctx, ShadowDir::Rx) > 0,
+        "receive-credit stream unobserved"
+    );
+    assert!(shadow.events() > 0);
+}
+
+#[test]
+fn shadow_sync_detects_a_pin_outside_the_protection_path() {
+    // A pin PhysMem knows about but no engine accounts for is exactly
+    // the kind of bug the whole-pool audit exists to catch.
+    let cfg = cdna_cfg(DmaPolicy::Validated, 1, Direction::Transmit).with_shadow_check();
+    let mut world = SystemWorld::build(cfg);
+    let first = world.shadow_sync();
+    assert_eq!(
+        first,
+        0,
+        "fresh world must audit clean: {:?}",
+        world.shadow().map(|s| s.violations())
+    );
+
+    let rogue = world.mem.alloc(DomainId::guest(0)).expect("page");
+    world.mem.pin(rogue).expect("pin");
+    let new = world.shadow_sync();
+    assert!(new >= 1, "rogue pin not detected");
+    assert!(
+        world
+            .faults
+            .iter()
+            .any(|f| matches!(f.kind, FaultKind::ShadowViolation { code: 9 })),
+        "expected a mirror-divergence protection fault: {:?}",
+        world.faults
+    );
+}
+
+#[test]
+fn shadow_disabled_by_default_and_sync_is_a_noop() {
+    let mut world = SystemWorld::build(cdna_cfg(DmaPolicy::Validated, 1, Direction::Transmit));
+    assert!(world.shadow().is_none());
+    assert_eq!(world.shadow_sync(), 0);
+    assert!(world.faults.is_empty());
+}

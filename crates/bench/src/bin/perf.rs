@@ -1,0 +1,280 @@
+//! `cdna-perf` — wall-clock performance harness for the simulator itself.
+//!
+//! Where every other bench binary measures the *simulated* system (Mb/s,
+//! interrupt rates), this one measures the *simulator*: how many
+//! scheduler events per wall-clock second the engine sustains across a
+//! fixed, seeded suite of testbed configs. Wall-clock time is legal
+//! here — `crates/bench` is not a sim crate (see `cdna-check`) — and
+//! never feeds back into simulated results.
+//!
+//! ```sh
+//! cargo run --release -p cdna-bench --bin perf            # full suite
+//! cargo run --release -p cdna-bench --bin perf -- --quick # CI smoke
+//! ```
+//!
+//! The suite is {CDNA, Xen-softvirt} × {TX, RX} × {1, 8, 24} guests,
+//! all at the default seed. Results land in `BENCH.json` at the repo
+//! root (override with `--out`). Every field except the wall-clock
+//! derived ones (`wall_ms`, `events_per_sec`, `ns_per_event`) is
+//! deterministic run-to-run; the harness re-runs each config `--reps`
+//! times, asserts the simulated outcome is identical across reps, and
+//! reports the best wall time.
+
+use std::time::Instant;
+
+use cdna_core::DmaPolicy;
+use cdna_system::{run_experiment, Direction, IoModel, NicKind, QueueKind, TestbedConfig};
+use cdna_trace::json::JsonWriter;
+
+/// Bump when the `BENCH.json` layout changes shape (adding fields is
+/// allowed; removing or renaming is not, without a bump).
+const SCHEMA: &str = "cdna-bench/1";
+
+/// Default repetitions per config; wall time is the best of these.
+const DEFAULT_REPS: u32 = 3;
+
+fn usage() -> ! {
+    eprintln!("usage: perf [--quick] [--reps N] [--queue heap|wheel] [--out PATH] [--stdout]");
+    std::process::exit(2);
+}
+
+struct SuiteEntry {
+    id: &'static str,
+    io_name: &'static str,
+    io: IoModel,
+    direction: Direction,
+    guests: u16,
+}
+
+fn suite() -> Vec<SuiteEntry> {
+    let cdna = IoModel::Cdna {
+        policy: DmaPolicy::Validated,
+    };
+    let soft = IoModel::XenBridged {
+        nic: NicKind::Intel,
+    };
+    let mut entries = Vec::new();
+    for (io_name, io, direction, dir_name) in [
+        ("cdna", cdna, Direction::Transmit, "tx"),
+        ("cdna", cdna, Direction::Receive, "rx"),
+        ("softvirt", soft, Direction::Transmit, "tx"),
+        ("softvirt", soft, Direction::Receive, "rx"),
+    ] {
+        for guests in [1u16, 8, 24] {
+            let id: &'static str = Box::leak(
+                format!("{io_name}-{dir_name}-{guests}g").into_boxed_str(), // cdna-check: allow(leak): 12 ids, once per process
+            );
+            entries.push(SuiteEntry {
+                id,
+                io_name,
+                io,
+                direction,
+                guests,
+            });
+        }
+    }
+    entries
+}
+
+struct Measured {
+    entry: SuiteEntry,
+    seed: u64,
+    events_processed: u64,
+    throughput_mbps: f64,
+    protection_faults: u64,
+    sim_ms: f64,
+    wall_ms: f64,
+}
+
+fn measure(entry: SuiteEntry, quick: bool, reps: u32, queue: QueueKind) -> Measured {
+    let mut cfg = TestbedConfig::new(entry.io, entry.guests, entry.direction);
+    if quick {
+        cfg = cfg.quick();
+    }
+    cfg.queue = queue;
+    let sim_ms = (cfg.warmup + cfg.measure).as_ns() as f64 / 1e6;
+    let seed = cfg.seed;
+
+    let mut best_wall_ms = f64::INFINITY;
+    let mut outcome: Option<(u64, f64, u64)> = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let report = run_experiment(cfg.clone());
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        best_wall_ms = best_wall_ms.min(wall_ms);
+        let this = (
+            report.events_processed,
+            report.throughput_mbps,
+            report.protection_faults,
+        );
+        match &outcome {
+            None => outcome = Some(this),
+            Some(prev) => assert_eq!(
+                *prev, this,
+                "{}: simulated outcome varied across reps — determinism bug",
+                entry.id
+            ),
+        }
+    }
+    let (events_processed, throughput_mbps, protection_faults) = outcome.expect("reps >= 1"); // cdna-check: allow(panic): loop runs at least once
+    Measured {
+        entry,
+        seed,
+        events_processed,
+        throughput_mbps,
+        protection_faults,
+        sim_ms,
+        wall_ms: best_wall_ms,
+    }
+}
+
+fn write_json(results: &[Measured], quick: bool, reps: u32, queue: QueueKind) -> String {
+    let mut w = JsonWriter::with_capacity(4096);
+    w.begin_object();
+    w.key("schema");
+    w.string(SCHEMA);
+    w.key("suite");
+    w.string(if quick { "quick" } else { "full" });
+    w.key("queue");
+    w.string(queue.name());
+    w.key("reps");
+    w.number_u64(reps as u64);
+    w.key("entries");
+    w.begin_array();
+    for m in results {
+        w.begin_object();
+        w.key("id");
+        w.string(m.entry.id);
+        w.key("io");
+        w.string(m.entry.io_name);
+        w.key("direction");
+        w.string(match m.entry.direction {
+            Direction::Transmit => "tx",
+            Direction::Receive => "rx",
+        });
+        w.key("guests");
+        w.number_u64(m.entry.guests as u64);
+        w.key("seed");
+        w.number_u64(m.seed);
+        w.key("events_processed");
+        w.number_u64(m.events_processed);
+        w.key("throughput_mbps");
+        w.number_f64(m.throughput_mbps);
+        w.key("protection_faults");
+        w.number_u64(m.protection_faults);
+        w.key("sim_ms");
+        w.number_f64(m.sim_ms);
+        w.key("wall_ms");
+        w.number_f64(m.wall_ms);
+        w.key("events_per_sec");
+        w.number_f64(m.events_processed as f64 / (m.wall_ms / 1e3));
+        w.key("ns_per_event");
+        w.number_f64(m.wall_ms * 1e6 / m.events_processed as f64);
+        w.end_object();
+    }
+    w.end_array();
+
+    // Aggregates: whole suite, plus the 24-guest subset the paper's
+    // scalability story (and the perf acceptance bar) cares about.
+    let agg = |filter: &dyn Fn(&Measured) -> bool| -> (u64, f64) {
+        let events: u64 = results
+            .iter()
+            .filter(|m| filter(m))
+            .map(|m| m.events_processed)
+            .sum();
+        let wall_ms: f64 = results
+            .iter()
+            .filter(|m| filter(m))
+            .map(|m| m.wall_ms)
+            .sum();
+        (events, wall_ms)
+    };
+    let (all_events, all_wall) = agg(&|_| true);
+    let (g24_events, g24_wall) = agg(&|m| m.entry.guests == 24);
+    w.key("aggregate");
+    w.begin_object();
+    w.key("events_processed");
+    w.number_u64(all_events);
+    w.key("wall_ms");
+    w.number_f64(all_wall);
+    w.key("events_per_sec");
+    w.number_f64(all_events as f64 / (all_wall / 1e3));
+    w.key("events_per_sec_24g");
+    w.number_f64(g24_events as f64 / (g24_wall / 1e3));
+    w.end_object();
+    w.end_object();
+    w.finish()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut reps = DEFAULT_REPS;
+    let mut queue = QueueKind::default();
+    let mut out: Option<String> = None;
+    let mut stdout = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            "--reps" => {
+                reps = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--queue" => {
+                queue = match args.get(i + 1).map(String::as_str) {
+                    Some("heap") => QueueKind::BinaryHeap,
+                    Some("wheel") => QueueKind::TimerWheel,
+                    _ => usage(),
+                };
+                i += 2;
+            }
+            "--out" => {
+                out = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--stdout" => {
+                stdout = true;
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+
+    // Default output lands at the repo root regardless of the cwd
+    // `cargo run` was invoked from.
+    let out = out.unwrap_or_else(|| {
+        format!("{}/../../BENCH.json", env!("CARGO_MANIFEST_DIR")) // cdna-check: allow(path): bench artifact location
+    });
+
+    let mut results = Vec::new();
+    for entry in suite() {
+        let id = entry.id;
+        let m = measure(entry, quick, reps, queue);
+        eprintln!(
+            "{:16} {:>9} events  {:>9.0} ev/s  {:>7.1} ns/ev  {:>8.2} ms wall",
+            id,
+            m.events_processed,
+            m.events_processed as f64 / (m.wall_ms / 1e3),
+            m.wall_ms * 1e6 / m.events_processed as f64,
+            m.wall_ms,
+        );
+        results.push(m);
+    }
+    let json = write_json(&results, quick, reps, queue);
+    if stdout {
+        println!("{json}");
+    } else {
+        std::fs::write(&out, format!("{json}\n")).unwrap_or_else(|e| {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {out}");
+    }
+}

@@ -224,6 +224,26 @@ mod tests {
     }
 
     #[test]
+    fn empty_vector_scans_to_nothing() {
+        let v = InterruptBitVector::EMPTY;
+        assert_eq!(v.count(), 0);
+        assert_eq!(v.iter().next(), None);
+        assert!(!v.contains(ContextId(0)));
+        assert!(!v.contains(ContextId(31)));
+    }
+
+    #[test]
+    fn bit_31_is_the_last_context() {
+        // The top bit of the 32-wide vector: set, observe, and make sure
+        // iteration terminates instead of scanning past the word.
+        let mut v = InterruptBitVector::EMPTY;
+        v.set(ContextId(31));
+        assert_eq!(v.count(), 1);
+        assert_eq!(v.iter().collect::<Vec<_>>(), vec![ContextId(31)]);
+        assert_eq!(v.0, 1 << 31);
+    }
+
+    #[test]
     fn ring_push_pop_fifo() {
         let mut ring = BitVectorRing::new(4);
         for i in 0..3u32 {

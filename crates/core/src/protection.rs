@@ -157,17 +157,61 @@ impl Direction {
 
     fn reap(&mut self, nic_consumer: u64, mem: &mut PhysMem) -> Result<u32, MemError> {
         let mut reaped = 0;
+        // Completed buffers are usually physically adjacent (RX pools
+        // hand out consecutive pages), so merge them into page runs and
+        // unpin once per run instead of once per buffer.
+        let mut run: Option<(u32, u32)> = None;
         while let Some(&(idx, buf)) = self.pinned.front() {
             if idx >= nic_consumer {
                 break;
             }
-            mem.unpin_slice(&buf)?;
+            let (start, len) = buf.page_run();
+            match &mut run {
+                Some((s, l)) if start.0 == *s + *l => *l += len,
+                Some((s, l)) => {
+                    mem.unpin_run(PageId(*s), *l)?;
+                    *s = start.0;
+                    *l = len;
+                }
+                None => run = Some((start.0, len)),
+            }
             self.pinned.pop_front();
             self.reaped = idx + 1;
             reaped += 1;
         }
+        if let Some((s, l)) = run {
+            mem.unpin_run(PageId(s), l)?;
+        }
         Ok(reaped)
     }
+}
+
+/// Merges an iterator of page runs into maximal contiguous runs and
+/// feeds each merged run to `f` — so a multi-descriptor batch touches
+/// the page pool once per run instead of once per descriptor. Runs are
+/// visited in batch order; merging only joins physically adjacent runs,
+/// so the pages `f` sees (and therefore any error it reports) are in
+/// the same order a per-descriptor loop would produce.
+fn for_each_merged_run<E>(
+    runs: impl Iterator<Item = (PageId, u32)>,
+    mut f: impl FnMut(PageId, u32) -> Result<(), E>,
+) -> Result<(), E> {
+    let mut run: Option<(u32, u32)> = None;
+    for (start, len) in runs {
+        match &mut run {
+            Some((s, l)) if start.0 == *s + *l => *l += len,
+            Some((s, l)) => {
+                f(PageId(*s), *l)?;
+                *s = start.0;
+                *l = len;
+            }
+            None => run = Some((start.0, len)),
+        }
+    }
+    if let Some((s, l)) = run {
+        f(PageId(s), l)?;
+    }
+    Ok(())
 }
 
 #[derive(Debug, Clone)]
@@ -331,38 +375,39 @@ impl ProtectionEngine {
             return Err(ProtectionError::RingFull { ctx });
         }
 
-        // Validate the whole batch before touching anything. The driver
-        // domain is trusted (paper §2.2: Xen's existing trust model), so
-        // its buffers — grant-mapped guest pages — skip the ownership
-        // check but are still pinned for the DMA's lifetime.
+        // Validate the whole batch before touching anything, merging
+        // physically adjacent buffers into page runs. The driver domain
+        // is trusted (paper §2.2: Xen's existing trust model), so its
+        // buffers — grant-mapped guest pages — skip the ownership check
+        // but are still pinned for the DMA's lifetime.
         let trusted = caller == DomainId::DRIVER;
         if !trusted {
-            for req in reqs {
-                if let Err(e) = mem.validate_slice(caller, &req.buf) {
-                    self.stats.rejections += 1;
-                    return Err(e.into());
-                }
+            if let Err(e) = for_each_merged_run(reqs.iter().map(|r| r.buf.page_run()), |s, l| {
+                mem.validate_run(caller, s, l)
+            }) {
+                self.stats.rejections += 1;
+                return Err(e.into());
             }
         }
 
+        // Second phase of the batch: pin once per merged run (ownership
+        // was established above; the trusted path never validated).
+        for_each_merged_run(reqs.iter().map(|r| r.buf.page_run()), |s, l| {
+            mem.pin_run(s, l)
+        })
+        .map_err(ProtectionError::Mem)?;
+
+        let ring = rings
+            .get_mut(state.tx_ring)
+            // cdna-check: allow(panic): ring created at assign_context
+            .expect("ring exists");
         let mut pages = 0;
         for req in reqs {
-            if trusted {
-                for page in req.buf.pages() {
-                    mem.pin(page).map_err(ProtectionError::Mem)?;
-                }
-            } else {
-                mem.pin_slice(caller, &req.buf)?;
-            }
             pages += req.buf.page_count();
             let mut desc = DmaDescriptor::tx(req.buf, req.flags, req.meta);
             desc.seq = prot.tx.stamper.next();
             let idx = prot.tx.producer;
-            rings
-                .get_mut(state.tx_ring)
-                // cdna-check: allow(panic): ring created at assign_context
-                .expect("ring exists")
-                .write_at(idx, desc);
+            ring.write_at(idx, desc);
             prot.tx.pinned.push_back((idx, req.buf));
             prot.tx.producer += 1;
         }
@@ -408,25 +453,32 @@ impl ProtectionEngine {
             return Err(ProtectionError::RingFull { ctx });
         }
 
-        for req in reqs {
-            if let Err(e) = mem.validate_slice(caller, &req.buf) {
-                self.stats.rejections += 1;
-                return Err(e.into());
-            }
+        // Validate-then-pin in merged page runs, exactly as enqueue_tx
+        // (RX posts come from per-guest buffer pools, which hand out
+        // consecutive pages, so a whole hypercall batch is typically a
+        // single run).
+        if let Err(e) = for_each_merged_run(reqs.iter().map(|r| r.buf.page_run()), |s, l| {
+            mem.validate_run(caller, s, l)
+        }) {
+            self.stats.rejections += 1;
+            return Err(e.into());
         }
+        for_each_merged_run(reqs.iter().map(|r| r.buf.page_run()), |s, l| {
+            mem.pin_run(s, l)
+        })
+        .map_err(ProtectionError::Mem)?;
 
+        let ring = rings
+            .get_mut(state.rx_ring)
+            // cdna-check: allow(panic): ring created at assign_context
+            .expect("ring exists");
         let mut pages = 0;
         for req in reqs {
-            mem.pin_slice(caller, &req.buf)?;
             pages += req.buf.page_count();
             let mut desc = DmaDescriptor::rx(req.buf);
             desc.seq = prot.rx.stamper.next();
             let idx = prot.rx.producer;
-            rings
-                .get_mut(state.rx_ring)
-                // cdna-check: allow(panic): ring created at assign_context
-                .expect("ring exists")
-                .write_at(idx, desc);
+            ring.write_at(idx, desc);
             prot.rx.pinned.push_back((idx, req.buf));
             prot.rx.producer += 1;
         }

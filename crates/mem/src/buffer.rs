@@ -58,6 +58,14 @@ impl BufferSlice {
         last - first + 1
     }
 
+    /// The slice's pages as a contiguous run: first page plus count.
+    /// The batched validation/pinning paths work in runs so a
+    /// multi-descriptor hypercall touches pool state once per run
+    /// instead of once per page.
+    pub fn page_run(&self) -> (PageId, u32) {
+        (self.addr.page(), self.page_count())
+    }
+
     /// Whether the slice lies entirely within one page.
     pub fn within_one_page(&self) -> bool {
         self.page_count() == 1

@@ -223,8 +223,32 @@ impl PhysMem {
 
     /// Verifies that `owner` owns every page under `slice`.
     pub fn validate_slice(&self, owner: DomainId, slice: &BufferSlice) -> Result<(), MemError> {
-        for page in slice.pages() {
-            self.check_owner(page, owner)?;
+        let (start, len) = slice.page_run();
+        self.validate_run(owner, start, len)
+    }
+
+    /// Verifies that `owner` owns every page in the run
+    /// `[start, start + len)` — one bounds check and one contiguous pass
+    /// for the whole run, instead of a lookup per page.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::NoSuchPage`] (naming the first page beyond the pool)
+    /// if the run exceeds the pool; [`MemError::NotOwner`] naming the
+    /// first page not owned by `owner`.
+    pub fn validate_run(&self, owner: DomainId, start: PageId, len: u32) -> Result<(), MemError> {
+        let slab = self
+            .pages
+            .get(start.0 as usize..start.0 as usize + len as usize)
+            .ok_or_else(|| MemError::NoSuchPage(PageId((self.pages.len() as u32).max(start.0))))?;
+        for (i, info) in slab.iter().enumerate() {
+            if info.owner != Some(owner) {
+                return Err(MemError::NotOwner {
+                    page: PageId(start.0 + i as u32),
+                    claimed: owner,
+                    actual: info.owner,
+                });
+            }
         }
         Ok(())
     }
@@ -244,9 +268,24 @@ impl PhysMem {
     /// all-or-nothing.
     pub fn pin_slice(&mut self, owner: DomainId, slice: &BufferSlice) -> Result<(), MemError> {
         self.validate_slice(owner, slice)?;
-        for page in slice.pages() {
-            self.pin(page)?;
+        let (start, len) = slice.page_run();
+        self.pin_run(start, len)
+    }
+
+    /// Pins every page in the run `[start, start + len)` without an
+    /// ownership check (callers validate first — this is the second
+    /// phase of a validate-then-pin batch); one bounds check and one
+    /// pass for the whole run.
+    pub fn pin_run(&mut self, start: PageId, len: u32) -> Result<(), MemError> {
+        let total = self.pages.len() as u32;
+        let slab = self
+            .pages
+            .get_mut(start.0 as usize..start.0 as usize + len as usize)
+            .ok_or(MemError::NoSuchPage(PageId(total.max(start.0))))?;
+        for info in slab {
+            info.pins += 1;
         }
+        self.total_pins += len as u64;
         Ok(())
     }
 
@@ -272,8 +311,33 @@ impl PhysMem {
 
     /// Unpins every page under `slice`.
     pub fn unpin_slice(&mut self, slice: &BufferSlice) -> Result<(), MemError> {
-        for page in slice.pages() {
-            self.unpin(page)?;
+        let (start, len) = slice.page_run();
+        self.unpin_run(start, len)
+    }
+
+    /// Unpins every page in the run `[start, start + len)`, completing
+    /// deferred frees as pin counts reach zero. Like a sequence of
+    /// [`PhysMem::unpin`] calls, an underflow mid-run stops there:
+    /// earlier pages stay unpinned and the error names the underflowing
+    /// page.
+    pub fn unpin_run(&mut self, start: PageId, len: u32) -> Result<(), MemError> {
+        let total = self.pages.len() as u32;
+        if start.0 as u64 + len as u64 > total as u64 {
+            return Err(MemError::NoSuchPage(PageId(total.max(start.0))));
+        }
+        for i in 0..len {
+            let page = PageId(start.0 + i);
+            let info = &mut self.pages[page.0 as usize];
+            if info.pins == 0 {
+                return Err(MemError::NotPinned(page));
+            }
+            info.pins -= 1;
+            if info.pins == 0 {
+                if let Some(idx) = self.pending_free.iter().position(|&p| p == page) {
+                    self.pending_free.swap_remove(idx);
+                    self.release(page);
+                }
+            }
         }
         Ok(())
     }
@@ -533,6 +597,65 @@ mod tests {
         }
         assert!(mem.alloc_contiguous(guest(0), 2).is_err());
         assert!(mem.alloc_contiguous(guest(0), 1).is_ok());
+    }
+
+    #[test]
+    fn run_ops_match_per_page_ops() {
+        let mut mem = PhysMem::new(8);
+        let pages = mem.alloc_many(guest(0), 4).unwrap();
+        mem.validate_run(guest(0), pages[0], 4).unwrap();
+        assert!(matches!(
+            mem.validate_run(guest(1), pages[0], 4),
+            Err(MemError::NotOwner { page, .. }) if page == pages[0]
+        ));
+        mem.pin_run(pages[0], 4).unwrap();
+        assert_eq!(mem.outstanding_pins(), 4);
+        assert_eq!(mem.total_pins(), 4);
+        mem.unpin_run(pages[0], 4).unwrap();
+        assert_eq!(mem.outstanding_pins(), 0);
+    }
+
+    #[test]
+    fn run_ops_bounds_error_names_first_missing_page() {
+        let mut mem = PhysMem::new(4);
+        assert_eq!(
+            mem.validate_run(guest(0), PageId(2), 4),
+            Err(MemError::NoSuchPage(PageId(4)))
+        );
+        assert_eq!(
+            mem.pin_run(PageId(9), 1),
+            Err(MemError::NoSuchPage(PageId(9)))
+        );
+        assert_eq!(
+            mem.unpin_run(PageId(2), 4),
+            Err(MemError::NoSuchPage(PageId(4)))
+        );
+    }
+
+    #[test]
+    fn unpin_run_completes_deferred_frees() {
+        let mut mem = PhysMem::new(4);
+        let pages = mem.alloc_many(guest(0), 2).unwrap();
+        mem.pin_run(pages[0], 2).unwrap();
+        assert_eq!(
+            mem.free(guest(0), pages[1]),
+            Err(MemError::Pinned(pages[1]))
+        );
+        mem.unpin_run(pages[0], 2).unwrap();
+        assert_eq!(mem.info(pages[1]).unwrap().owner, None, "deferred free ran");
+        assert_eq!(mem.info(pages[0]).unwrap().owner, Some(guest(0)));
+    }
+
+    #[test]
+    fn unpin_run_stops_at_first_underflow() {
+        let mut mem = PhysMem::new(4);
+        let pages = mem.alloc_many(guest(0), 3).unwrap();
+        mem.pin(pages[0]).unwrap();
+        assert_eq!(
+            mem.unpin_run(pages[0], 3),
+            Err(MemError::NotPinned(pages[1]))
+        );
+        assert_eq!(mem.outstanding_pins(), 0, "first page was unpinned");
     }
 
     #[test]

@@ -131,6 +131,29 @@ mod tests {
     }
 
     #[test]
+    fn fire_resets_the_gap_origin() {
+        // The deferral window is measured from the *last delivery*, not
+        // the last request: fire at 60us, and a request at 70us defers
+        // to 110us (60 + 50), not to 100us.
+        let mut c = Coalescer::new(SimTime::from_us(50));
+        let t1 = c.request(SimTime::from_us(10)).unwrap();
+        assert_eq!(t1, SimTime::from_us(10));
+        c.fired(SimTime::from_us(60)); // delivered late
+        let t2 = c.request(SimTime::from_us(70)).unwrap();
+        assert_eq!(t2, SimTime::from_us(110));
+    }
+
+    #[test]
+    fn request_exactly_at_gap_boundary_is_immediate() {
+        let mut c = Coalescer::new(SimTime::from_us(50));
+        let t1 = c.request(SimTime::ZERO).unwrap();
+        c.fired(t1);
+        // Exactly min_gap later: no deferral.
+        let t2 = c.request(SimTime::from_us(50)).unwrap();
+        assert_eq!(t2, SimTime::from_us(50));
+    }
+
+    #[test]
     fn sustained_load_fires_at_configured_rate() {
         // Request an interrupt every microsecond for 10ms; with a 100us
         // gap the coalescer should deliver ~100 interrupts.

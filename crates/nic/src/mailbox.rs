@@ -90,6 +90,17 @@ mod tests {
     }
 
     #[test]
+    fn last_mailbox_in_partition_is_writable() {
+        // The partition boundary is exclusive: index 23 is the last
+        // doorbell word, index 24 is plain context memory.
+        let mut mb = MailboxPage::new();
+        mb.write(MAILBOXES_PER_CONTEXT - 1, 7).unwrap();
+        assert_eq!(mb.read(MAILBOXES_PER_CONTEXT - 1), Some(7));
+        assert_eq!(mb.read(MAILBOXES_PER_CONTEXT), None);
+        assert_eq!(mb.writes(), 1);
+    }
+
+    #[test]
     fn fresh_page_is_zeroed() {
         let mb = MailboxPage::new();
         for i in 0..MAILBOXES_PER_CONTEXT {

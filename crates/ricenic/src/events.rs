@@ -148,4 +148,36 @@ mod tests {
         let mut u = MailboxEventUnit::new();
         u.note_write(ContextId(0), MAILBOXES_PER_CONTEXT);
     }
+
+    #[test]
+    fn set_after_clear_renotes_both_levels() {
+        // Clearing a context must clear its summary bit too: a fresh
+        // write afterwards has to re-raise both levels or pop_event
+        // would never see it.
+        let mut u = MailboxEventUnit::new();
+        u.note_write(ContextId(4), 2);
+        u.clear_context(ContextId(4));
+        assert!(!u.has_events());
+        u.note_write(ContextId(4), 9);
+        assert!(u.has_events());
+        assert_eq!(u.pop_event(), Some((ContextId(4), 9)));
+        assert_eq!(u.pop_event(), None);
+        assert_eq!(u.pending_for(ContextId(4)), 0);
+    }
+
+    #[test]
+    fn last_context_last_mailbox_round_trips() {
+        // Both bit vectors' top bits: context 31, mailbox 23.
+        let mut u = MailboxEventUnit::new();
+        u.note_write(ContextId(31), MAILBOXES_PER_CONTEXT - 1);
+        assert_eq!(
+            u.pending_for(ContextId(31)),
+            1 << (MAILBOXES_PER_CONTEXT - 1)
+        );
+        assert_eq!(
+            u.pop_event(),
+            Some((ContextId(31), MAILBOXES_PER_CONTEXT - 1))
+        );
+        assert!(!u.has_events());
+    }
 }

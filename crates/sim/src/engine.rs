@@ -1,10 +1,8 @@
 //! The event queue and run loop.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
 use cdna_trace::Tracer;
 
+use crate::queue::{EventQueue, QueueImpl, QueueKind};
 use crate::SimTime;
 
 /// A model that reacts to events.
@@ -20,37 +18,15 @@ pub trait World {
     fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
 }
 
-#[derive(Debug)]
-struct Queued<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Queued<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for Queued<E> {}
-impl<E> PartialOrd for Queued<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for Queued<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 /// The pending-event queue, exposed to handlers for scheduling follow-ups.
 ///
 /// Events at equal times are delivered in the order they were scheduled
-/// (FIFO), which keeps runs deterministic.
+/// (FIFO), which keeps runs deterministic. The backing store is one of
+/// the [`crate::queue`] implementations — a timer wheel by default, the
+/// original binary heap for differential testing.
 #[derive(Debug)]
 pub struct Scheduler<E> {
-    queue: BinaryHeap<Reverse<Queued<E>>>,
+    queue: QueueImpl<E>,
     next_seq: u64,
     scheduled: u64,
     /// Optional event tracer, carried here so event handlers (which
@@ -60,9 +36,9 @@ pub struct Scheduler<E> {
 }
 
 impl<E> Scheduler<E> {
-    fn new() -> Self {
+    fn new(kind: QueueKind) -> Self {
         Scheduler {
-            queue: BinaryHeap::new(),
+            queue: QueueImpl::new(kind),
             next_seq: 0,
             scheduled: 0,
             tracer: None,
@@ -83,15 +59,17 @@ impl<E> Scheduler<E> {
     ///
     /// Panics if `at` is earlier than `now` (time travel would break the
     /// monotonicity invariant the whole simulation relies on).
+    #[inline]
     pub fn at(&mut self, now: SimTime, at: SimTime, event: E) {
         assert!(at >= now, "scheduled event in the past: now={now}, at={at}",);
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled += 1;
-        self.queue.push(Reverse(Queued { at, seq, event }));
+        self.queue.push(at, seq, event);
     }
 
     /// Schedules `event` at `now + delay`.
+    #[inline]
     pub fn after(&mut self, now: SimTime, delay: SimTime, event: E) {
         self.at(now, now + delay, event);
     }
@@ -106,12 +84,14 @@ impl<E> Scheduler<E> {
         self.scheduled
     }
 
-    fn pop(&mut self) -> Option<Queued<E>> {
-        self.queue.pop().map(|Reverse(q)| q)
+    #[inline]
+    fn pop(&mut self) -> Option<(SimTime, u64, E)> {
+        self.queue.pop()
     }
 
-    fn peek_time(&self) -> Option<SimTime> {
-        self.queue.peek().map(|Reverse(q)| q.at)
+    #[inline]
+    fn pop_due(&mut self, deadline: SimTime) -> Option<(SimTime, u64, E)> {
+        self.queue.pop_due(deadline)
     }
 }
 
@@ -127,11 +107,18 @@ pub struct Simulation<W: World> {
 }
 
 impl<W: World> Simulation<W> {
-    /// Creates a simulation at time zero.
+    /// Creates a simulation at time zero with the default event queue.
     pub fn new(world: W) -> Self {
+        Simulation::with_queue(world, QueueKind::default())
+    }
+
+    /// Creates a simulation at time zero with an explicit event-queue
+    /// implementation (used by the golden regression tests and the perf
+    /// harness to compare queue kinds on otherwise identical runs).
+    pub fn with_queue(world: W, kind: QueueKind) -> Self {
         Simulation {
             world,
-            sched: Scheduler::new(),
+            sched: Scheduler::new(kind),
             now: SimTime::ZERO,
             processed: 0,
         }
@@ -193,11 +180,11 @@ impl<W: World> Simulation<W> {
     /// was processed.
     pub fn step(&mut self) -> bool {
         match self.sched.pop() {
-            Some(q) => {
-                debug_assert!(q.at >= self.now, "event queue went backwards");
-                self.now = q.at;
+            Some((at, _seq, event)) => {
+                debug_assert!(at >= self.now, "event queue went backwards");
+                self.now = at;
                 self.processed += 1;
-                self.world.handle(self.now, q.event, &mut self.sched);
+                self.world.handle(self.now, event, &mut self.sched);
                 true
             }
             None => false,
@@ -207,14 +194,18 @@ impl<W: World> Simulation<W> {
     /// Runs until the queue is empty or the next event lies strictly after
     /// `deadline`; the clock is then advanced to `deadline`.
     ///
+    /// Each iteration pops with the deadline check folded in
+    /// ([`crate::queue::EventQueue::pop_due`]) instead of the old
+    /// peek-then-pop double queue access.
+    ///
     /// Returns the number of events processed by this call.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let before = self.processed;
-        while let Some(t) = self.sched.peek_time() {
-            if t > deadline {
-                break;
-            }
-            self.step();
+        while let Some((at, _seq, event)) = self.sched.pop_due(deadline) {
+            debug_assert!(at >= self.now, "event queue went backwards");
+            self.now = at;
+            self.processed += 1;
+            self.world.handle(self.now, event, &mut self.sched);
         }
         self.now = self.now.max(deadline);
         self.processed - before
@@ -289,6 +280,34 @@ mod tests {
         sim.schedule(SimTime::from_us(50), 7);
         sim.run_until(SimTime::from_us(50));
         assert_eq!(sim.world().seen, vec![(SimTime::from_us(50), 7)]);
+    }
+
+    #[test]
+    fn run_until_on_drained_queue_lands_exactly_on_deadline() {
+        let mut sim = Simulation::new(Recorder::default());
+        sim.schedule(SimTime::from_us(10), 1);
+        sim.schedule(SimTime::from_us(20), 2);
+        // All events drain before the deadline; the clock must still end
+        // exactly at the deadline, not at the last event.
+        let n = sim.run_until(SimTime::from_us(75));
+        assert_eq!(n, 2);
+        assert_eq!(sim.now(), SimTime::from_us(75));
+        // And an already-empty queue advances the clock the same way.
+        assert_eq!(sim.run_until(SimTime::from_us(80)), 0);
+        assert_eq!(sim.now(), SimTime::from_us(80));
+    }
+
+    #[test]
+    fn both_queue_kinds_run_the_same_simulation() {
+        for kind in [QueueKind::BinaryHeap, QueueKind::TimerWheel] {
+            let mut sim = Simulation::with_queue(Recorder::default(), kind);
+            sim.schedule(SimTime::from_us(30), 3);
+            sim.schedule(SimTime::from_us(10), 1);
+            sim.schedule(SimTime::from_us(10), 2);
+            sim.run_to_completion();
+            let order: Vec<u32> = sim.world().seen.iter().map(|&(_, e)| e).collect();
+            assert_eq!(order, vec![1, 2, 3], "{kind:?}");
+        }
     }
 
     #[test]

@@ -33,11 +33,13 @@
 //! ```
 
 mod engine;
+pub mod queue;
 mod rng;
 mod stats;
 mod time;
 
 pub use engine::{Scheduler, Simulation, World};
+pub use queue::QueueKind;
 pub use rng::SimRng;
 pub use stats::{RateMeter, RunningStats};
 pub use time::SimTime;

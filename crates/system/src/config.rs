@@ -2,7 +2,7 @@
 
 use cdna_core::DmaPolicy;
 use cdna_ricenic::RiceNicConfig;
-use cdna_sim::SimTime;
+use cdna_sim::{QueueKind, SimTime};
 
 use crate::CostModel;
 
@@ -125,6 +125,10 @@ pub struct TestbedConfig {
     /// RiceNIC firmware configuration (override for ablations, e.g. the
     /// interrupt bit-vector coalescing interval).
     pub ricenic: RiceNicConfig,
+    /// Event-queue implementation for the simulation engine. Simulated
+    /// outcomes are identical for every kind (proven by the golden
+    /// regression tests); only wall-clock speed differs.
+    pub queue: QueueKind,
 }
 
 impl TestbedConfig {
@@ -149,6 +153,7 @@ impl TestbedConfig {
             shadow_check: false,
             costs: CostModel::default(),
             ricenic: RiceNicConfig::default(),
+            queue: QueueKind::default(),
         }
     }
 

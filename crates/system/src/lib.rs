@@ -34,6 +34,7 @@ mod testbed;
 mod workload;
 mod world;
 
+pub use cdna_sim::QueueKind;
 pub use config::{Direction, IoModel, NicKind, TestbedConfig};
 pub use costs::CostModel;
 pub use report::{Comparison, RunReport};

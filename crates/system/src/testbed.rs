@@ -63,7 +63,8 @@ pub fn run_instrumented(cfg: TestbedConfig, instr: Instrumentation) -> RunArtifa
     let end = cfg.warmup + cfg.measure;
     let direction = cfg.direction;
 
-    let mut sim = Simulation::new(SystemWorld::build(cfg));
+    let queue = cfg.queue;
+    let mut sim = Simulation::with_queue(SystemWorld::build(cfg), queue);
     if let Some(capacity) = instr.trace_capacity {
         sim.attach_tracer(Tracer::new(capacity));
     }

@@ -27,9 +27,10 @@ use cdna_core::{
 use cdna_mem::{BufferSlice, DomainId, PageId, PhysMem};
 use cdna_net::{framing, FlowId, Frame, GigabitWire, MacAddr, PciBus, WireDirection};
 use cdna_nic::{
-    ConventionalNic, FrameMeta, IrqReason, NicConfig, RingTable, RxDisposition, TxEmission,
+    ConventionalNic, FrameMeta, IrqReason, NicConfig, RingTable, RxDisposition, TxActivity,
+    TxEmission,
 };
-use cdna_ricenic::RiceNic;
+use cdna_ricenic::{Activity, RiceNic};
 use cdna_sim::{RateMeter, Scheduler, SimRng, SimTime, World};
 use cdna_trace::{CounterId, Domain, MetricKey, Registry};
 use cdna_xen::{
@@ -1245,7 +1246,7 @@ impl SystemWorld {
 
         self.charge(ExecCategory::Kernel(dom), costs.activation_fixed);
         let virqs = self.evt.collect(dom);
-        for v in &virqs {
+        for v in virqs.iter() {
             let c = match (&state.role, v) {
                 (Role::DriverXen { .. }, VirtualIrq::NicPhys) => costs.drv_isr,
                 _ => costs.virq_upcall,
@@ -1267,15 +1268,17 @@ impl SystemWorld {
         self.domains[idx] = state;
     }
 
-    /// Schedules NIC activity produced by a device call.
+    /// Schedules NIC activity produced by a device call. Drains the
+    /// vector in place so the caller can hand the emptied activity back
+    /// to the device for reuse.
     fn schedule_emissions(
         &mut self,
         now: SimTime,
         sched: &mut Scheduler<Event>,
         nic: usize,
-        emissions: Vec<TxEmission>,
+        emissions: &mut Vec<TxEmission>,
     ) {
-        for e in emissions {
+        for e in emissions.drain(..) {
             sched.at(
                 now,
                 e.ready_at.max(now),
@@ -1284,6 +1287,21 @@ impl SystemWorld {
                     frame: e.frame,
                 },
             );
+        }
+    }
+
+    /// Hands a drained RiceNIC activity back to the device so its
+    /// buffers back the next operation (allocation-free steady state).
+    fn recycle_rice(&mut self, nic: usize, act: Activity) {
+        if let NicSlot::Rice(dev) = &mut self.nics[nic] {
+            dev.recycle(act);
+        }
+    }
+
+    /// As [`SystemWorld::recycle_rice`], for the conventional NIC.
+    fn recycle_conventional(&mut self, nic: usize, act: TxActivity) {
+        if let NicSlot::Conventional(dev) = &mut self.nics[nic] {
+            dev.recycle(act);
         }
     }
 
@@ -1436,7 +1454,7 @@ impl SystemWorld {
                     let NicSlot::Rice(dev) = &mut self.nics[i] else {
                         unreachable!()
                     };
-                    let act = dev
+                    let mut act = dev
                         .mailbox_write(
                             now,
                             drv.ctx(),
@@ -1447,10 +1465,10 @@ impl SystemWorld {
                         )
                         .expect("mailbox write");
                     self.faults.extend(act.faults.iter().copied());
-                    let emissions = act.emissions;
                     let irq = act.irq_at;
-                    self.schedule_emissions(now, sched, i, emissions);
+                    self.schedule_emissions(now, sched, i, &mut act.emissions);
                     self.schedule_irq(now, sched, i, irq);
+                    self.recycle_rice(i, act);
                 }
             }
         }
@@ -1574,7 +1592,7 @@ impl SystemWorld {
                 .charge(ExecCategory::Kernel(dom), costs.pio_write);
             self.dispatch_cost += costs.pio_write;
             drv.note_pio();
-            let act = dev
+            let mut act = dev
                 .mailbox_write(
                     now,
                     drv.ctx(),
@@ -1585,10 +1603,10 @@ impl SystemWorld {
                 )
                 .expect("mailbox write");
             self.faults.extend(act.faults.iter().copied());
-            let emissions = act.emissions;
             let irq = act.irq_at;
-            self.schedule_emissions(now, sched, nic, emissions);
+            self.schedule_emissions(now, sched, nic, &mut act.emissions);
             self.schedule_irq(now, sched, nic, irq);
+            self.recycle_rice(nic, act);
         }
     }
 
@@ -1893,12 +1911,13 @@ impl SystemWorld {
                     let NicSlot::Conventional(dev) = &mut self.nics[nic] else {
                         unreachable!()
                     };
-                    let act = dev
+                    let mut act = dev
                         .tx_doorbell(now, n.tx_producer(), &self.rings, &mut self.buses[nic])
                         .expect("doorbell");
                     let irq = act.irq_at.map(|t| (t, IrqReason::Tx));
-                    self.schedule_emissions(now, sched, nic, act.emissions);
+                    self.schedule_emissions(now, sched, nic, &mut act.emissions);
                     self.schedule_irq(now, sched, nic, irq);
+                    self.recycle_conventional(nic, act);
                 }
                 PhysDriver::Cdna(c) => {
                     // dom0's CDNA context: flush through the hypervisor.
@@ -1922,7 +1941,7 @@ impl SystemWorld {
                                 + costs.hyp_validate_desc * out.enqueued as u64
                                 + costs.hyp_reap_desc * out.reaped as u64;
                             c.note_pio();
-                            let act = dev
+                            let mut act = dev
                                 .mailbox_write(
                                     now,
                                     c.ctx(),
@@ -1933,10 +1952,10 @@ impl SystemWorld {
                                 )
                                 .expect("mailbox write");
                             self.faults.extend(act.faults.iter().copied());
-                            let emissions = act.emissions;
                             let irq = act.irq_at;
-                            self.schedule_emissions(now, sched, nic, emissions);
+                            self.schedule_emissions(now, sched, nic, &mut act.emissions);
                             self.schedule_irq(now, sched, nic, irq);
+                            self.recycle_rice(nic, act);
                         }
                         Ok(None) => {}
                         Err(e) => panic!("dom0 tx flush rejected: {e}"),
@@ -2040,7 +2059,7 @@ impl SystemWorld {
                         self.ledger
                             .charge(ExecCategory::Kernel(dom), costs.pio_write);
                         self.dispatch_cost += costs.pio_write;
-                        let act = dev
+                        let mut act = dev
                             .mailbox_write(
                                 now,
                                 c.ctx(),
@@ -2051,10 +2070,10 @@ impl SystemWorld {
                             )
                             .expect("mailbox write");
                         self.faults.extend(act.faults.iter().copied());
-                        let emissions = act.emissions;
                         let irq = act.irq_at;
-                        self.schedule_emissions(now, sched, nic, emissions);
+                        self.schedule_emissions(now, sched, nic, &mut act.emissions);
                         self.schedule_irq(now, sched, nic, irq);
+                        self.recycle_rice(nic, act);
                     }
                     Ok(None) => {}
                     Err(e) => panic!("dom0 rx post rejected: {e}"),
@@ -2177,12 +2196,13 @@ impl SystemWorld {
                 let NicSlot::Conventional(dev) = &mut self.nics[nic] else {
                     unreachable!()
                 };
-                let act = dev
+                let mut act = dev
                     .tx_doorbell(now, drv.tx_producer(), &self.rings, &mut self.buses[nic])
                     .expect("doorbell");
                 let irq = act.irq_at.map(|t| (t, IrqReason::Tx));
-                self.schedule_emissions(now, sched, nic, act.emissions);
+                self.schedule_emissions(now, sched, nic, &mut act.emissions);
                 self.schedule_irq(now, sched, nic, irq);
+                self.recycle_conventional(nic, act);
             }
         }
 
@@ -2277,20 +2297,21 @@ impl SystemWorld {
         }
         match &mut self.nics[nic] {
             NicSlot::Conventional(dev) => {
-                let act = dev
+                let mut act = dev
                     .tx_frame_sent(now, &frame, &self.rings, &mut self.buses[nic])
                     .expect("completion");
                 let irq = act.irq_at.map(|t| (t, IrqReason::Tx));
-                self.schedule_emissions(now, sched, nic, act.emissions);
+                self.schedule_emissions(now, sched, nic, &mut act.emissions);
                 self.schedule_irq(now, sched, nic, irq);
+                self.recycle_conventional(nic, act);
             }
             NicSlot::Rice(dev) => {
-                let act = dev.tx_frame_sent(now, &frame, &self.rings, &mut self.buses[nic]);
+                let mut act = dev.tx_frame_sent(now, &frame, &self.rings, &mut self.buses[nic]);
                 self.faults.extend(act.faults.iter().copied());
-                let emissions = act.emissions;
                 let irq = act.irq_at;
-                self.schedule_emissions(now, sched, nic, emissions);
+                self.schedule_emissions(now, sched, nic, &mut act.emissions);
                 self.schedule_irq(now, sched, nic, irq);
+                self.recycle_rice(nic, act);
             }
         }
     }

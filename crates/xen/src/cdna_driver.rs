@@ -61,6 +61,10 @@ pub struct CdnaGuestDriver {
     tx_prod: u64,
     rx_prod: u64,
     stats: CdnaDriverStats,
+    /// Recycled capacity for [`CdnaGuestDriver::take_rx_batch`] so
+    /// steady-state receive posting allocates nothing.
+    rx_batch_reqs: Vec<RxRequest>,
+    rx_batch_pages: Vec<PageId>,
 }
 
 impl CdnaGuestDriver {
@@ -102,6 +106,8 @@ impl CdnaGuestDriver {
             tx_prod: 0,
             rx_prod: 0,
             stats: CdnaDriverStats::default(),
+            rx_batch_reqs: Vec::new(),
+            rx_batch_pages: Vec::new(),
         })
     }
 
@@ -337,11 +343,12 @@ impl CdnaGuestDriver {
         assert_eq!(self.policy, DmaPolicy::Iommu, "wrong post path");
         let (reqs, pages) = self.take_rx_batch(max);
         if reqs.is_empty() {
+            self.recycle_rx_batch(reqs, pages);
             return None;
         }
         let mut mapped = 0;
         let ring = rings.get_mut(self.rx_ring).expect("ring exists"); // cdna-check: allow(panic): ring created at attach
-        for (req, page) in reqs.into_iter().zip(pages) {
+        for (req, &page) in reqs.iter().zip(&pages) {
             mapped += iommu.map_slice(self.ctx, &req.buf);
             ring.write_at(self.rx_prod, DmaDescriptor::rx(req.buf));
             self.rx_posted.push_back(page);
@@ -349,6 +356,7 @@ impl CdnaGuestDriver {
             self.stats.descriptors += 1;
         }
         self.stats.hypercalls += 1;
+        self.recycle_rx_batch(reqs, pages);
         Some((self.rx_prod, mapped))
     }
 
@@ -391,13 +399,15 @@ impl CdnaGuestDriver {
         mem: &mut PhysMem,
     ) -> Result<Option<EnqueueOutcome>, ProtectionError> {
         assert_eq!(self.policy, DmaPolicy::Validated, "wrong post path");
-        let (reqs, pages) = self.take_rx_batch(max);
+        let (reqs, mut pages) = self.take_rx_batch(max);
         if reqs.is_empty() {
+            self.recycle_rx_batch(reqs, pages);
             return Ok(None);
         }
-        match engine.enqueue_rx(self.ctx, self.dom, &reqs, nic_rx_consumer, rings, mem) {
+        let res = engine.enqueue_rx(self.ctx, self.dom, &reqs, nic_rx_consumer, rings, mem);
+        let out = match res {
             Ok(outcome) => {
-                for page in pages {
+                for &page in &pages {
                     self.rx_posted.push_back(page);
                     self.rx_prod += 1;
                 }
@@ -406,10 +416,12 @@ impl CdnaGuestDriver {
                 Ok(Some(outcome))
             }
             Err(e) => {
-                self.rx_pool.extend(pages);
+                self.rx_pool.append(&mut pages);
                 Err(e)
             }
-        }
+        };
+        self.recycle_rx_batch(reqs, pages);
+        out
     }
 
     /// Posts up to `max` receive buffers directly into the guest-owned
@@ -418,15 +430,17 @@ impl CdnaGuestDriver {
         assert_ne!(self.policy, DmaPolicy::Validated, "wrong post path");
         let (reqs, pages) = self.take_rx_batch(max);
         if reqs.is_empty() {
+            self.recycle_rx_batch(reqs, pages);
             return None;
         }
         let ring = rings.get_mut(self.rx_ring).expect("ring exists"); // cdna-check: allow(panic): ring created at attach
-        for (req, page) in reqs.into_iter().zip(pages) {
+        for (req, &page) in reqs.iter().zip(&pages) {
             ring.write_at(self.rx_prod, DmaDescriptor::rx(req.buf));
             self.rx_posted.push_back(page);
             self.rx_prod += 1;
             self.stats.descriptors += 1;
         }
+        self.recycle_rx_batch(reqs, pages);
         Some(self.rx_prod)
     }
 
@@ -465,13 +479,20 @@ impl CdnaGuestDriver {
         self.stats.pio_writes += 1;
     }
 
+    /// Pops up to `max` pool pages into the recycled batch vectors. The
+    /// caller must hand both back via [`CdnaGuestDriver::recycle_rx_batch`]
+    /// to keep the capacity; dropping them is merely slower.
     fn take_rx_batch(&mut self, max: u32) -> (Vec<RxRequest>, Vec<PageId>) {
+        let mut reqs = std::mem::take(&mut self.rx_batch_reqs);
+        let mut pages = std::mem::take(&mut self.rx_batch_pages);
+        reqs.clear();
+        pages.clear();
         let headroom = (self.ring_size as u64)
             .saturating_sub(self.rx_posted.len() as u64)
             .min(max as u64) as usize;
         let n = headroom.min(self.rx_pool.len());
-        let mut reqs = Vec::with_capacity(n);
-        let mut pages = Vec::with_capacity(n);
+        reqs.reserve(n);
+        pages.reserve(n);
         for _ in 0..n {
             let page = self.rx_pool.pop().expect("checked"); // cdna-check: allow(panic): checked nonempty above
             reqs.push(RxRequest {
@@ -480,6 +501,11 @@ impl CdnaGuestDriver {
             pages.push(page);
         }
         (reqs, pages)
+    }
+
+    fn recycle_rx_batch(&mut self, reqs: Vec<RxRequest>, pages: Vec<PageId>) {
+        self.rx_batch_reqs = reqs;
+        self.rx_batch_pages = pages;
     }
 
     fn reclaim_floor(&self) -> u64 {

@@ -36,6 +36,6 @@ pub use accounting::{CpuLedger, ExecCategory, ExecutionProfile};
 pub use bridge::{BridgePort, EthernetBridge};
 pub use cdna_driver::{CdnaDriverStats, CdnaGuestDriver, CdnaTxOrigin};
 pub use chan::{ChannelError, ChannelStats, FrontBackChannel, PvPacket};
-pub use evtchn::{EventChannels, VirtualIrq};
+pub use evtchn::{EventChannels, PendingIrqs, VirtualIrq};
 pub use native::{DriverError, NativeDriver, NativeDriverStats, TxOrigin};
 pub use sched::RunQueue;

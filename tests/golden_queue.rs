@@ -1,0 +1,76 @@
+//! Golden outcome regression: the event-queue implementation must never
+//! shift simulated results.
+//!
+//! Runs one quick CDNA config and one quick Xen-softvirt config under
+//! both queue kinds (the original binary heap and the timer wheel) and
+//! asserts the full `RunReport::to_json()` output — every counter,
+//! throughput figure, and profile bucket — is byte-identical. Any
+//! scheduler or batching change that reorders events, drops one, or
+//! perturbs accounting shows up here as a whole-report diff.
+
+use cdna_core::DmaPolicy;
+use cdna_system::{run_experiment, Direction, IoModel, NicKind, QueueKind, TestbedConfig};
+
+fn report_json(mut cfg: TestbedConfig, queue: QueueKind) -> String {
+    cfg.queue = queue;
+    run_experiment(cfg).to_json()
+}
+
+fn cdna_cfg(direction: Direction) -> TestbedConfig {
+    TestbedConfig::new(
+        IoModel::Cdna {
+            policy: DmaPolicy::Validated,
+        },
+        4,
+        direction,
+    )
+    .quick()
+}
+
+fn softvirt_cfg(direction: Direction) -> TestbedConfig {
+    TestbedConfig::new(
+        IoModel::XenBridged {
+            nic: NicKind::Intel,
+        },
+        4,
+        direction,
+    )
+    .quick()
+}
+
+#[test]
+fn cdna_tx_report_is_queue_invariant() {
+    let heap = report_json(cdna_cfg(Direction::Transmit), QueueKind::BinaryHeap);
+    let wheel = report_json(cdna_cfg(Direction::Transmit), QueueKind::TimerWheel);
+    assert_eq!(heap, wheel, "queue kind changed a CDNA TX report");
+}
+
+#[test]
+fn cdna_rx_report_is_queue_invariant() {
+    let heap = report_json(cdna_cfg(Direction::Receive), QueueKind::BinaryHeap);
+    let wheel = report_json(cdna_cfg(Direction::Receive), QueueKind::TimerWheel);
+    assert_eq!(heap, wheel, "queue kind changed a CDNA RX report");
+}
+
+#[test]
+fn softvirt_tx_report_is_queue_invariant() {
+    let heap = report_json(softvirt_cfg(Direction::Transmit), QueueKind::BinaryHeap);
+    let wheel = report_json(softvirt_cfg(Direction::Transmit), QueueKind::TimerWheel);
+    assert_eq!(heap, wheel, "queue kind changed a softvirt TX report");
+}
+
+#[test]
+fn softvirt_rx_report_is_queue_invariant() {
+    let heap = report_json(softvirt_cfg(Direction::Receive), QueueKind::BinaryHeap);
+    let wheel = report_json(softvirt_cfg(Direction::Receive), QueueKind::TimerWheel);
+    assert_eq!(heap, wheel, "queue kind changed a softvirt RX report");
+}
+
+#[test]
+fn default_queue_is_the_timer_wheel() {
+    // The default-constructed config must run on the wheel — if the
+    // default ever flips, the perf trajectory in BENCH.json silently
+    // changes meaning.
+    let cfg = cdna_cfg(Direction::Transmit);
+    assert_eq!(cfg.queue, QueueKind::TimerWheel);
+}

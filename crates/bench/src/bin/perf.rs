@@ -62,7 +62,7 @@ fn suite() -> Vec<SuiteEntry> {
     ] {
         for guests in [1u16, 8, 24] {
             let id: &'static str = Box::leak(
-                format!("{io_name}-{dir_name}-{guests}g").into_boxed_str(), // cdna-check: allow(leak): 12 ids, once per process
+                format!("{io_name}-{dir_name}-{guests}g").into_boxed_str(), // 12 ids, once per process
             );
             entries.push(SuiteEntry {
                 id,
@@ -116,7 +116,7 @@ fn measure(entry: SuiteEntry, quick: bool, reps: u32, queue: QueueKind) -> Measu
             ),
         }
     }
-    let (events_processed, throughput_mbps, protection_faults) = outcome.expect("reps >= 1"); // cdna-check: allow(panic): loop runs at least once
+    let (events_processed, throughput_mbps, protection_faults) = outcome.expect("reps >= 1"); // loop runs at least once
     Measured {
         entry,
         seed,
@@ -250,7 +250,7 @@ fn main() {
     // Default output lands at the repo root regardless of the cwd
     // `cargo run` was invoked from.
     let out = out.unwrap_or_else(|| {
-        format!("{}/../../BENCH.json", env!("CARGO_MANIFEST_DIR")) // cdna-check: allow(path): bench artifact location
+        format!("{}/../../BENCH.json", env!("CARGO_MANIFEST_DIR")) // bench artifact location
     });
 
     let mut results = Vec::new();

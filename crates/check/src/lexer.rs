@@ -13,7 +13,18 @@
 //! 3. [`test_lines`] — marks the line ranges occupied by `#[cfg(test)]`
 //!    / `#[test]` items so rules can exempt test code.
 
-use std::collections::BTreeMap;
+/// One harvested suppression annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// 1-based line the annotation text sits on (for multi-line block
+    /// comments, the line of the `cdna-check:` marker itself, not the
+    /// line the comment opened on).
+    pub line: u32,
+    /// The rule name being allowed (or `all`).
+    pub rule: String,
+    /// Whether this is an `allow-file` (whole-file) suppression.
+    pub file_wide: bool,
+}
 
 /// A per-line or per-file lint suppression harvested from comments.
 ///
@@ -27,39 +38,54 @@ use std::collections::BTreeMap;
 ///
 /// A line-scoped `allow` suppresses diagnostics on its own line and the
 /// line immediately after it; `allow-file` suppresses the rule for the
-/// whole file.
+/// whole file. Doc comments (`///`, `//!`, `/** */`, `/*! */`) are NOT
+/// harvested: annotation syntax quoted in documentation (like the block
+/// above) must never become a live suppression.
 #[derive(Debug, Clone, Default)]
 pub struct Allows {
-    /// line number (1-based) → rule names allowed on that line.
-    by_line: BTreeMap<u32, Vec<String>>,
-    /// Rule names allowed for the entire file.
-    file_wide: Vec<String>,
+    entries: Vec<AllowEntry>,
 }
 
 impl Allows {
     /// Whether `rule` is suppressed at `line`.
     pub fn permits(&self, rule: &str, line: u32) -> bool {
-        if self.file_wide.iter().any(|r| r == rule || r == "all") {
-            return true;
-        }
-        // An annotation applies to its own line (trailing comment) and
-        // to the following line (comment above the offending code).
-        for l in [line, line.saturating_sub(1)] {
-            if let Some(rules) = self.by_line.get(&l) {
-                if rules.iter().any(|r| r == rule || r == "all") {
-                    return true;
-                }
-            }
-        }
-        false
+        self.match_entry(rule, line).is_some()
+    }
+
+    /// Index of the entry that suppresses `rule` at `line`, if any.
+    /// Line-scoped entries win over file-wide ones, so "used allow"
+    /// accounting credits the most specific annotation.
+    pub fn match_entry(&self, rule: &str, line: u32) -> Option<usize> {
+        let hits = |e: &AllowEntry| e.rule == rule || e.rule == "all";
+        // A line annotation applies to its own line (trailing comment)
+        // and to the following line (comment above the offending code).
+        // Exact-line matches are credited before line-above matches so
+        // adjacent annotations each claim their own diagnostic.
+        self.entries
+            .iter()
+            .position(|e| !e.file_wide && hits(e) && e.line == line)
+            .or_else(|| {
+                self.entries
+                    .iter()
+                    .position(|e| !e.file_wide && hits(e) && e.line + 1 == line)
+            })
+            .or_else(|| self.entries.iter().position(|e| e.file_wide && hits(e)))
+    }
+
+    /// Every harvested annotation, in source order.
+    pub fn entries(&self) -> &[AllowEntry] {
+        &self.entries
     }
 
     /// Total number of annotations present (for report statistics).
     pub fn count(&self) -> usize {
-        self.by_line.values().map(Vec::len).sum::<usize>() + self.file_wide.len()
+        self.entries.len()
     }
 
     fn record(&mut self, comment: &str, line: u32) {
+        if is_doc_comment_text(comment) {
+            return;
+        }
         for (marker, file_wide) in [
             ("cdna-check: allow-file(", true),
             ("cdna-check: allow(", false),
@@ -67,6 +93,11 @@ impl Allows {
             let Some(start) = comment.find(marker) else {
                 continue;
             };
+            // Attribute the annotation to the line the marker text is
+            // on, not the line the (possibly multi-line) comment opened
+            // on — otherwise block-comment annotations suppress the
+            // wrong span.
+            let marker_line = line + comment[..start].matches('\n').count() as u32;
             let rest = &comment[start + marker.len()..];
             let Some(end) = rest.find(')') else { continue };
             for rule in rest[..end].split(',') {
@@ -74,15 +105,25 @@ impl Allows {
                 if rule.is_empty() {
                     continue;
                 }
-                if file_wide {
-                    self.file_wide.push(rule);
-                } else {
-                    self.by_line.entry(line).or_default().push(rule);
-                }
+                self.entries.push(AllowEntry {
+                    line: marker_line,
+                    rule,
+                    file_wide,
+                });
             }
             return; // "allow-file(" contains "allow(": don't double-record
         }
     }
+}
+
+/// Whether comment text (starting at its `//` or `/*` delimiter) is a
+/// doc comment. `////…` and `/**/` are plain comments per the Rust
+/// reference, so they stay harvestable.
+fn is_doc_comment_text(c: &str) -> bool {
+    (c.starts_with("///") && !c.starts_with("////"))
+        || c.starts_with("//!")
+        || (c.starts_with("/**") && !c.starts_with("/**/"))
+        || c.starts_with("/*!")
 }
 
 /// Result of [`scrub`]: comment/string-free source plus the harvested
@@ -182,10 +223,18 @@ pub fn scrub(src: &str) -> Scrubbed {
                 .map(|o| body + o)
                 .unwrap_or(bytes.len());
             blank(&mut out, &mut line, bytes, body, end);
-            out.push(b'"');
-            let after = (end + close.len()).min(bytes.len());
-            out.extend(std::iter::repeat_n(b' ', after.saturating_sub(end + 1)));
-            i = after;
+            if end < bytes.len() {
+                // Close found: keep a quote in its place (plus blanks
+                // for the trailing hashes) so masked positions line up.
+                out.push(b'"');
+                let after = (end + close.len()).min(bytes.len());
+                out.extend(std::iter::repeat_n(b' ', after.saturating_sub(end + 1)));
+                i = after;
+            } else {
+                // Unterminated raw string: do NOT invent a phantom
+                // closing quote past end-of-input.
+                i = end;
+            }
         } else if b == b'\'' {
             // Char literal or lifetime.
             if let Some(len) = char_literal_len(bytes, i) {
@@ -475,6 +524,76 @@ mod tests {
         let s = scrub(src);
         assert!(s.allows.permits("sim-time", 40));
         assert!(!s.allows.permits("panic", 1));
+    }
+
+    #[test]
+    fn block_comment_allow_attributed_to_marker_line() {
+        // The annotation sits on line 3 of a comment opened on line 1;
+        // it must suppress line 3/4, not line 1/2.
+        let src =
+            "/* rationale paragraph\n   spanning lines\n   cdna-check: allow(panic): ok\n*/\nx();";
+        let s = scrub(src);
+        assert!(s.allows.permits("panic", 3));
+        assert!(s.allows.permits("panic", 4));
+        assert!(
+            !s.allows.permits("panic", 1),
+            "comment-open line is not the marker line"
+        );
+        assert!(!s.allows.permits("panic", 5));
+    }
+
+    #[test]
+    fn doc_comments_are_not_harvested() {
+        // Annotation syntax quoted in docs must not become live
+        // suppressions (this very file documents the syntax!).
+        for src in [
+            "/// `// cdna-check: allow(panic)`\nfn f() {}",
+            "//! cdna-check: allow-file(panic)\nfn f() {}",
+            "/** cdna-check: allow(panic) */\nfn f() {}",
+            "/*! cdna-check: allow-file(unsafe) */\nfn f() {}",
+        ] {
+            let s = scrub(src);
+            assert_eq!(s.allows.count(), 0, "harvested from doc comment: {src}");
+        }
+        // Plain comments still work, including the //// pseudo-doc form.
+        let s = scrub("//// cdna-check: allow(panic)\nx();");
+        assert_eq!(s.allows.count(), 1);
+    }
+
+    #[test]
+    fn allow_entries_exposed_with_lines() {
+        let src = "// cdna-check: allow-file(sim-time)\nx(); // cdna-check: allow(panic)\n";
+        let s = scrub(src);
+        let e = s.allows.entries();
+        assert_eq!(e.len(), 2);
+        assert!(e[0].file_wide && e[0].rule == "sim-time" && e[0].line == 1);
+        assert!(!e[1].file_wide && e[1].rule == "panic" && e[1].line == 2);
+    }
+
+    #[test]
+    fn multiline_raw_string_with_hashes_preserves_spans() {
+        // Lines inside the raw string must stay as newlines so rule
+        // diagnostics after it land on the right line; fake comment
+        // markers and fake closes inside the body must not confuse the
+        // scanner.
+        let src = "let s = r##\"line one \"# not closed\n// cdna-check: allow(panic)\n/* still string */\"##;\nx.unwrap();";
+        let s = scrub(src);
+        assert_eq!(s.allows.count(), 0, "allow inside raw string harvested");
+        assert!(!s.masked.contains("not closed"));
+        let toks = tokenize(&s.masked);
+        let unwrap = toks
+            .iter()
+            .find(|t| t.text == "unwrap")
+            .expect("unwrap token");
+        assert_eq!(unwrap.line, 4, "span drifted across the raw string");
+    }
+
+    #[test]
+    fn unterminated_raw_string_adds_no_phantom_quote() {
+        let src = "let s = r#\"never closed";
+        let s = scrub(src);
+        assert_eq!(s.masked.len(), src.len());
+        assert_eq!(s.masked.matches('"').count(), 1);
     }
 
     #[test]

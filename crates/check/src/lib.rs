@@ -13,7 +13,16 @@
 //!   nondeterministic map iteration, no panics in library code, no
 //!   `unsafe`, no external-registry dependencies, no undocumented
 //!   public items. Violations can be suppressed in-source with
-//!   `// cdna-check: allow(<rule>)` annotations.
+//!   `// cdna-check: allow(<rule>)` annotations; an annotation that
+//!   suppresses nothing is itself a `unused-allow` warning.
+//! * **Symbol-graph pass** ([`parse`], [`graph`], [`analyses`]): an
+//!   item-level parser extracts per-crate symbols (`use` edges, `fn`
+//!   call sites, `match` summaries) and three interprocedural rules run
+//!   over the whole workspace at once — `layering` (the crate DAG must
+//!   flow strictly downward), `must-pair` (every pin reaches an unpin/
+//!   reap on all non-panic paths, via a CFG-lite token walk), and
+//!   `exhaustive-fault` (no wildcard `match` on `FaultKind`/`MemError`/
+//!   `ShadowViolation`).
 //! * **Dynamic pass** ([`shadow`]): a [`DmaShadow`] that mirrors every
 //!   page through the `Free → Owned → Pinned → InFlight → Completed`
 //!   lifecycle and every context's sequence stream, independently
@@ -25,13 +34,20 @@
 
 #![warn(missing_docs)]
 
+pub mod analyses;
+pub mod graph;
 pub mod lexer;
+pub mod parse;
 pub mod report;
 pub mod rules;
 pub mod shadow;
 
+pub use analyses::{analyze, Analysis, SourceFile};
 pub use report::render_json;
-pub use rules::{check_manifest, check_repo, check_source, Diagnostic, FileKind, StaticReport};
+pub use rules::{
+    check_manifest, check_repo, check_source, rule_code, rule_severity, Diagnostic, FileKind,
+    StaticReport, RULE_NAMES,
+};
 pub use shadow::{DmaShadow, ShadowDir, ShadowState, ShadowViolation, ViolationKind};
 
 use std::path::PathBuf;

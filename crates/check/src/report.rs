@@ -1,29 +1,37 @@
 //! Machine-readable JSON report for CI, built on `cdna-trace`'s
 //! [`JsonWriter`] so the checker stays dependency-free.
 //!
-//! Shape:
+//! Shape (`schema_version` 2 — stable since the symbol-graph rules):
 //!
 //! ```json
 //! {
 //!   "tool": "cdna-check",
+//!   "schema_version": 2,
 //!   "clean": false,
 //!   "files_scanned": 42,
 //!   "manifests_scanned": 11,
 //!   "allow_annotations": 9,
 //!   "counts": { "panic": 2, "unsafe": 1 },
 //!   "diagnostics": [
-//!     { "rule": "panic", "file": "crates/x/src/y.rs", "line": 17,
+//!     { "rule": "panic", "code": "CDNA003", "severity": "error",
+//!       "file": "crates/x/src/y.rs", "line": 17,
 //!       "message": "`.unwrap()` can panic in library code; ..." }
 //!   ]
 //! }
 //! ```
 //!
 //! `counts` and `diagnostics` are sorted, so the report is byte-stable
-//! across runs — diffable in CI artifacts.
+//! across runs — diffable in CI artifacts. Rule codes (`CDNA001`…) are
+//! append-only: a rule rename never reassigns a code, so report diffs
+//! across PRs stay meaningful.
 
-use crate::rules::StaticReport;
+use crate::rules::{rule_code, rule_severity, StaticReport};
 use cdna_trace::json::JsonWriter;
 use std::collections::BTreeMap;
+
+/// The report schema version; bump when a field changes meaning or is
+/// removed (adding fields is not a bump).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Renders a [`StaticReport`] as a JSON document.
 pub fn render_json(report: &StaticReport) -> String {
@@ -36,6 +44,8 @@ pub fn render_json(report: &StaticReport) -> String {
     w.begin_object();
     w.key("tool");
     w.string("cdna-check");
+    w.key("schema_version");
+    w.number_u64(SCHEMA_VERSION);
     w.key("clean");
     w.boolean(report.clean());
     w.key("files_scanned");
@@ -57,6 +67,10 @@ pub fn render_json(report: &StaticReport) -> String {
         w.begin_object();
         w.key("rule");
         w.string(d.rule);
+        w.key("code");
+        w.string(rule_code(d.rule));
+        w.key("severity");
+        w.string(rule_severity(d.rule));
         w.key("file");
         w.string(&d.file);
         w.key("line");
@@ -85,6 +99,7 @@ mod tests {
         };
         let json = render_json(&r);
         assert!(json.contains(r#""tool":"cdna-check""#));
+        assert!(json.contains(r#""schema_version":2"#));
         assert!(json.contains(r#""clean":true"#));
         assert!(json.contains(r#""files_scanned":3"#));
         assert!(json.contains(r#""diagnostics":[]"#));
@@ -114,7 +129,23 @@ mod tests {
         let json = render_json(&r);
         assert!(json.contains(r#""clean":false"#));
         assert!(json.contains(r#""panic":2"#));
+        assert!(json.contains(r#""code":"CDNA003""#));
+        assert!(json.contains(r#""severity":"error""#));
         assert!(json.contains(r#""line":5"#));
         assert!(json.contains(r#"\"quoted\""#), "message must be escaped");
+    }
+
+    #[test]
+    fn rule_codes_are_stable_and_unique() {
+        use crate::rules::{rule_code, rule_severity, RULE_NAMES};
+        let codes: Vec<&str> = RULE_NAMES.iter().map(|r| rule_code(r)).collect();
+        let mut dedup = codes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), RULE_NAMES.len(), "duplicate code: {codes:?}");
+        assert_eq!(rule_code("sim-time"), "CDNA001");
+        assert_eq!(rule_code("exhaustive-fault"), "CDNA010");
+        assert_eq!(rule_severity("unused-allow"), "warning");
+        assert_eq!(rule_severity("must-pair"), "error");
     }
 }

@@ -3,27 +3,68 @@
 //! Each rule has a stable kebab-case name, used both in diagnostics and
 //! in `// cdna-check: allow(<rule>)` suppression annotations:
 //!
-//! | rule | meaning |
-//! |------|---------|
-//! | `sim-time` | wall-clock time (`std::time`) in simulation library code |
-//! | `nondeterministic-map` | `HashMap`/`HashSet` in library code (use `BTreeMap`) |
-//! | `panic` | `unwrap()`/`expect()`/`panic!` in non-test library code |
-//! | `unsafe` | any `unsafe` token anywhere |
-//! | `hermetic-deps` | external-registry dependency edge in a `Cargo.toml` |
-//! | `missing-docs` | public item without a `///` doc comment |
+//! | rule | code | meaning |
+//! |------|------|---------|
+//! | `sim-time` | CDNA001 | wall-clock time (`std::time`) in simulation library code |
+//! | `nondeterministic-map` | CDNA002 | `HashMap`/`HashSet` in library code (use `BTreeMap`) |
+//! | `panic` | CDNA003 | `unwrap()`/`expect()`/`panic!` in non-test library code |
+//! | `unsafe` | CDNA004 | any `unsafe` token anywhere |
+//! | `hermetic-deps` | CDNA005 | external-registry dependency edge in a `Cargo.toml` |
+//! | `missing-docs` | CDNA006 | public item without a `///` doc comment |
+//! | `unused-allow` | CDNA007 | an `allow(...)` escape that suppresses nothing |
+//! | `layering` | CDNA008 | crate dependency edge against the layer order |
+//! | `must-pair` | CDNA009 | pin acquired but not released on a non-panic path |
+//! | `exhaustive-fault` | CDNA010 | wildcard `match` arm on a fault enum |
+//!
+//! The last four are produced by the symbol-graph passes in
+//! [`crate::analyses`]; this module owns the token-level rules, the
+//! rule registry (names, codes, severities), and the repository walker.
 
+use crate::analyses::{analyze, SourceFile};
 use crate::lexer::{scrub, test_lines, tokenize, Token};
 use std::path::{Path, PathBuf};
 
 /// Names of every static rule, in report order.
-pub const RULE_NAMES: [&str; 6] = [
+pub const RULE_NAMES: [&str; 10] = [
     "sim-time",
     "nondeterministic-map",
     "panic",
     "unsafe",
     "hermetic-deps",
     "missing-docs",
+    "unused-allow",
+    "layering",
+    "must-pair",
+    "exhaustive-fault",
 ];
+
+/// Stable machine-readable code for a rule (`CDNA001`…), used by the
+/// JSON report so CI diffs survive rule renames.
+pub fn rule_code(rule: &str) -> &'static str {
+    match rule {
+        "sim-time" => "CDNA001",
+        "nondeterministic-map" => "CDNA002",
+        "panic" => "CDNA003",
+        "unsafe" => "CDNA004",
+        "hermetic-deps" => "CDNA005",
+        "missing-docs" => "CDNA006",
+        "unused-allow" => "CDNA007",
+        "layering" => "CDNA008",
+        "must-pair" => "CDNA009",
+        "exhaustive-fault" => "CDNA010",
+        _ => "CDNA000",
+    }
+}
+
+/// Severity of a rule: `unused-allow` is hygiene (`warning`), all other
+/// rules guard correctness (`error`). The binary exits non-zero on
+/// either — warnings are cheap to fix and expensive to let rot.
+pub fn rule_severity(rule: &str) -> &'static str {
+    match rule {
+        "unused-allow" => "warning",
+        _ => "error",
+    }
+}
 
 /// How a source file is classified, which decides the rules applied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,18 +131,32 @@ pub fn check_source(rel: &str, kind: FileKind, src: &str) -> (Vec<Diagnostic>, u
     let scrubbed = scrub(src);
     let tokens = tokenize(&scrubbed.masked);
     let in_test = test_lines(&tokens);
-    let allows = &scrubbed.allows;
-    let mut out = Vec::new();
+    let raw = token_rule_diags(rel, kind, src, &tokens, &in_test);
+    let out = raw
+        .into_iter()
+        .filter(|d| !scrubbed.allows.permits(d.rule, d.line))
+        .collect();
+    (out, scrubbed.allows.count())
+}
 
+/// Runs the token-level rules over one scrubbed file, *without* allow
+/// suppression — the whole-workspace pipeline ([`analyze`]) filters
+/// later so it can tell which allows were actually used.
+pub(crate) fn token_rule_diags(
+    rel: &str,
+    kind: FileKind,
+    src: &str,
+    tokens: &[Token],
+    in_test: &std::collections::BTreeSet<u32>,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
     let mut push = |rule: &'static str, line: u32, message: String| {
-        if !allows.permits(rule, line) {
-            out.push(Diagnostic {
-                rule,
-                file: rel.to_string(),
-                line,
-                message,
-            });
-        }
+        out.push(Diagnostic {
+            rule,
+            file: rel.to_string(),
+            line,
+            message,
+        });
     };
 
     for (i, t) in tokens.iter().enumerate() {
@@ -170,7 +225,7 @@ pub fn check_source(rel: &str, kind: FileKind, src: &str) -> (Vec<Diagnostic>, u
                 "`panic!` in library code; return an error instead".to_string(),
             ),
             "pub" if lib => {
-                if let Some((item_line, what, name)) = public_item(&tokens, i) {
+                if let Some((item_line, what, name)) = public_item(tokens, i) {
                     if !has_doc_comment(src, item_line) {
                         push(
                             "missing-docs",
@@ -184,7 +239,7 @@ pub fn check_source(rel: &str, kind: FileKind, src: &str) -> (Vec<Diagnostic>, u
         }
     }
 
-    (out, allows.count())
+    out
 }
 
 /// If token `i` is a `pub` introducing a fully-public named item,
@@ -368,7 +423,9 @@ pub fn classify(rel: &str) -> Option<FileKind> {
     Some(FileKind::Library)
 }
 
-/// Walks the repository at `root` and applies every static rule.
+/// Walks the repository at `root` and applies every static rule: the
+/// token rules, the symbol-graph passes (`layering`, `must-pair`,
+/// `exhaustive-fault`), and the `unused-allow` audit.
 ///
 /// Scans `src/`, `tests/`, `examples/` at the root and under each
 /// `crates/*`, plus every `Cargo.toml`. Paths are sorted so output is
@@ -403,29 +460,31 @@ pub fn check_repo(root: &Path) -> std::io::Result<StaticReport> {
     }
     rs_files.sort();
 
-    let mut report = StaticReport::default();
+    let mut sources: Vec<SourceFile> = Vec::new();
     for path in &rs_files {
         let rel = rel_path(root, path);
         let Some(kind) = classify(&rel) else { continue };
-        let src = std::fs::read_to_string(path)?;
-        let (diags, allow_count) = check_source(&rel, kind, &src);
-        report.diagnostics.extend(diags);
-        report.allow_count += allow_count;
-        report.files_scanned += 1;
+        sources.push(SourceFile {
+            rel,
+            kind,
+            text: std::fs::read_to_string(path)?,
+        });
     }
+    let mut manifest_srcs: Vec<(String, String)> = Vec::new();
     for path in &manifests {
         if !path.is_file() {
             continue;
         }
-        let rel = rel_path(root, path);
-        let src = std::fs::read_to_string(path)?;
-        report.diagnostics.extend(check_manifest(&rel, &src));
-        report.manifests_scanned += 1;
+        manifest_srcs.push((rel_path(root, path), std::fs::read_to_string(path)?));
     }
-    report
-        .diagnostics
-        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    Ok(report)
+
+    let analysis = analyze(&sources, &manifest_srcs);
+    Ok(StaticReport {
+        diagnostics: analysis.diagnostics,
+        files_scanned: sources.len(),
+        manifests_scanned: manifest_srcs.len(),
+        allow_count: analysis.allow_count,
+    })
 }
 
 fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {

@@ -139,7 +139,15 @@ impl std::fmt::Display for ViolationKind {
             ViolationKind::MirrorDivergence { detail } => {
                 write!(f, "mirror-divergence: {detail}")
             }
-            other => f.write_str(other.name()),
+            // Deliberately exhaustive (no `_`): a new violation class
+            // must decide its own rendering (see the exhaustive-fault
+            // rule).
+            ViolationKind::DoublePin
+            | ViolationKind::UnpinUnderflow
+            | ViolationKind::FreeWhileInFlight
+            | ViolationKind::OwnershipChangeUnderPin
+            | ViolationKind::DmaWithoutPin
+            | ViolationKind::PinWithoutOwner => f.write_str(self.name()),
         }
     }
 }

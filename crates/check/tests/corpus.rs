@@ -113,6 +113,40 @@ fn tests_and_examples_exempt_from_panic_and_map_rules() {
     assert!(diags.is_empty(), "{diags:?}");
 }
 
+#[test]
+fn raw_strings_do_not_fire_and_spans_survive() {
+    let (diags, _) = check_source(
+        "raw_strings.rs",
+        FileKind::Library,
+        &corpus("raw_strings.rs"),
+    );
+    let panics: Vec<u32> = diags
+        .iter()
+        .filter(|d| d.rule == "panic")
+        .map(|d| d.line)
+        .collect();
+    // Only the real unwrap after the raw string fires, at its true line.
+    assert_eq!(panics, [14], "{diags:?}");
+}
+
+#[test]
+fn nested_block_comments_scrubbed_with_correct_spans() {
+    let (diags, allows) = check_source(
+        "nested_comments.rs",
+        FileKind::Library,
+        &corpus("nested_comments.rs"),
+    );
+    let panics: Vec<u32> = diags
+        .iter()
+        .filter(|d| d.rule == "panic")
+        .map(|d| d.line)
+        .collect();
+    // The unwrap mentioned inside the nested comment is scrubbed; the
+    // allowed expect is suppressed; only the final unwrap fires.
+    assert_eq!(panics, [14], "{diags:?}");
+    assert_eq!(allows, 1);
+}
+
 // --- DmaShadow violation classes -----------------------------------------
 
 fn kinds(shadow: &DmaShadow) -> Vec<&'static str> {

@@ -1,0 +1,15 @@
+//! Nested-comment fixture: block comments nest in Rust; the lexer must
+//! track depth and keep line numbers for the code that follows.
+
+/* outer /* inner mentions .unwrap() and unsafe { blocks } */
+   still inside the outer comment across
+   multiple lines */
+/// Panics when empty; the trailing allow suppresses the diagnostic.
+pub fn first(v: Option<u32>) -> u32 {
+    v.expect("fixture") // cdna-check: allow(panic): fixture
+}
+
+/// Fires at a known line after the nested comment.
+pub fn second(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

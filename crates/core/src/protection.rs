@@ -381,7 +381,31 @@ impl ProtectionEngine {
         // buffers — grant-mapped guest pages — skip the ownership check
         // but are still pinned for the DMA's lifetime.
         let trusted = caller == DomainId::DRIVER;
-        if !trusted {
+        #[cfg(feature = "mutations")]
+        let skip_owner_check =
+            cdna_mem::mutation::is_active(cdna_mem::mutation::MutationKind::SkipOwnershipCheck);
+        #[cfg(not(feature = "mutations"))]
+        let skip_owner_check = false;
+        #[cfg(feature = "mutations")]
+        let wild;
+        #[cfg(feature = "mutations")]
+        let reqs = if skip_owner_check && !trusted {
+            // Seeded bug: with validation gone, a guest-supplied wild
+            // address reaches the pin path; model the wild address as the
+            // pool's last page, which no domain owns.
+            let base = PageId(mem.total_pages() - 1).base_addr();
+            wild = reqs
+                .iter()
+                .map(|r| TxRequest {
+                    buf: BufferSlice::new(base, r.buf.len.min(64)),
+                    ..*r
+                })
+                .collect::<Vec<_>>();
+            &wild[..]
+        } else {
+            reqs
+        };
+        if !trusted && !skip_owner_check {
             if let Err(e) = for_each_merged_run(reqs.iter().map(|r| r.buf.page_run()), |s, l| {
                 mem.validate_run(caller, s, l)
             }) {
@@ -405,6 +429,13 @@ impl ProtectionEngine {
         for req in reqs {
             pages += req.buf.page_count();
             let mut desc = DmaDescriptor::tx(req.buf, req.flags, req.meta);
+            #[cfg(feature = "mutations")]
+            if cdna_mem::mutation::is_active(cdna_mem::mutation::MutationKind::SeqSkip)
+                && prot.tx.producer % 8 == 3
+            {
+                // Seeded bug: burn a stamp, leaving a gap in the stream.
+                let _ = prot.tx.stamper.next();
+            }
             desc.seq = prot.tx.stamper.next();
             let idx = prot.tx.producer;
             ring.write_at(idx, desc);
@@ -476,6 +507,13 @@ impl ProtectionEngine {
         for req in reqs {
             pages += req.buf.page_count();
             let mut desc = DmaDescriptor::rx(req.buf);
+            #[cfg(feature = "mutations")]
+            if cdna_mem::mutation::is_active(cdna_mem::mutation::MutationKind::SeqSkip)
+                && prot.rx.producer % 8 == 3
+            {
+                // Seeded bug: burn a stamp, leaving a gap in the stream.
+                let _ = prot.rx.stamper.next();
+            }
             desc.seq = prot.rx.stamper.next();
             let idx = prot.rx.producer;
             ring.write_at(idx, desc);

@@ -19,6 +19,8 @@
 
 mod addr;
 mod buffer;
+#[cfg(feature = "mutations")]
+pub mod mutation;
 mod pool;
 
 pub use addr::{DomainId, PageId, PhysAddr, PAGE_SIZE};

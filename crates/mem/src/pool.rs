@@ -321,6 +321,15 @@ impl PhysMem {
     /// earlier pages stay unpinned and the error names the underflowing
     /// page.
     pub fn unpin_run(&mut self, start: PageId, len: u32) -> Result<(), MemError> {
+        #[cfg(feature = "mutations")]
+        let (start, len) =
+            if crate::mutation::is_active(crate::mutation::MutationKind::UnpinWrongPage) && len > 0
+            {
+                // Seeded bug: the first page of every run keeps its pin.
+                (PageId(start.0 + 1), len - 1)
+            } else {
+                (start, len)
+            };
         let total = self.pages.len() as u32;
         if start.0 as u64 + len as u64 > total as u64 {
             return Err(MemError::NoSuchPage(PageId(total.max(start.0))));

@@ -1,0 +1,264 @@
+//! Depth-first schedule exploration over rebuilt worlds, plus the
+//! invariant suite every explored schedule must satisfy.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+
+use cdna_core::{DmaPolicy, FaultKind};
+use cdna_sim::{SimTime, Simulation};
+use cdna_system::{Direction, Event, IoModel, NicKind, SystemWorld, TestbedConfig};
+
+use crate::queue::{Controller, PermutationQueue};
+
+/// One exploration job: a testbed configuration plus bounds.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Human-readable identifier, stable across runs (used in reports).
+    pub label: String,
+    /// The configuration every schedule rebuilds from.
+    pub cfg: TestbedConfig,
+    /// Stop after this many schedules even if branches remain.
+    pub max_schedules: u64,
+    /// Record (and therefore fork) at most this many decisions per
+    /// schedule.
+    pub max_depth: usize,
+    /// Events within this window of the earliest pending event count as
+    /// tied (bounded timing jitter); `SimTime::ZERO` forks exact ties
+    /// only.
+    pub tie_window: SimTime,
+}
+
+/// The outcome of exploring one [`ExploreConfig`].
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// The job's label.
+    pub label: String,
+    /// Schedules executed.
+    pub schedules: u64,
+    /// Events processed across all schedules.
+    pub events: u64,
+    /// Deepest decision count observed in any single schedule.
+    pub max_decisions: usize,
+    /// Total invariant violations across all schedules.
+    pub violations: u64,
+    /// First few violation descriptions (capped; see `violations` for
+    /// the true count).
+    pub sample: Vec<String>,
+    /// Whether the decision tree was exhausted within `max_schedules`
+    /// (true = every explorable interleaving up to `max_depth` ran).
+    pub exhausted: bool,
+    /// Whether any schedule hit the depth bound.
+    pub depth_truncated: bool,
+}
+
+/// How many violation descriptions an [`Exploration`] retains verbatim.
+const SAMPLE_CAP: usize = 8;
+
+/// Checks the full invariant suite against a finished world (after
+/// [`SystemWorld::shadow_sync`]), returning one description per
+/// violation.
+///
+/// The suite:
+/// 1. every `DmaShadow` violation (pin lifecycle, ownership, sequence
+///    continuity, mirror audits);
+/// 2. every non-shadow protection fault (e.g. stale sequence numbers
+///    rejected by the NIC);
+/// 3. event-channel conservation: `sent == collected + pending`;
+/// 4. CDNA pin balance: outstanding pool pins equal the protection
+///    engines' pinned pages (Xen's grant path pins outside the engines,
+///    so this is only sound for CDNA runs).
+pub fn check_invariants(world: &SystemWorld) -> Vec<String> {
+    let mut out = Vec::new();
+    if let Some(shadow) = world.shadow() {
+        for v in shadow.violations() {
+            out.push(format!("shadow: {}", v.kind));
+        }
+    }
+    for f in &world.faults {
+        if !matches!(f.kind, FaultKind::ShadowViolation { .. }) {
+            out.push(format!("fault on {}: {:?}", f.ctx, f.kind));
+        }
+    }
+    let (sent, collected, pending) = (
+        world.evt.sent(),
+        world.evt.collected(),
+        world.evt.pending_total(),
+    );
+    if sent != collected + pending {
+        out.push(format!(
+            "evtchn conservation broken: sent={sent} != collected={collected} + pending={pending}"
+        ));
+    }
+    if matches!(world.cfg.io_model, IoModel::Cdna { .. }) {
+        let engine_pins: u64 = world
+            .engines
+            .iter()
+            .map(|e| {
+                (0..=u8::MAX)
+                    .filter(|&c| e.contexts().state(cdna_core::ContextId(c)).is_ok())
+                    .map(|c| e.pinned_pages(cdna_core::ContextId(c)).len() as u64)
+                    .sum::<u64>()
+            })
+            .sum();
+        let pool_pins = world.mem.outstanding_pins();
+        if pool_pins != engine_pins {
+            out.push(format!(
+                "pin balance broken: pool={pool_pins} engines={engine_pins}"
+            ));
+        }
+    }
+    out
+}
+
+/// Runs one schedule: rebuild the world, replay `prefix`, run to the
+/// end of the measurement window, audit. Returns the controller (for
+/// backtracking), the violations, and the events processed. A panic
+/// inside the schedule counts as a violation of its own.
+fn run_schedule(
+    job: &ExploreConfig,
+    prefix: Vec<usize>,
+) -> (Rc<RefCell<Controller>>, Vec<String>, u64) {
+    let ctrl = Rc::new(RefCell::new(Controller::new(prefix, job.max_depth)));
+    let queue = PermutationQueue::with_window(Rc::clone(&ctrl), job.tie_window);
+    let end = job.cfg.warmup + job.cfg.measure;
+    let cfg = job.cfg.clone();
+    let outcome = catch_unwind(AssertUnwindSafe(move || {
+        let mut sim = Simulation::with_event_queue(SystemWorld::build(cfg), Box::new(queue));
+        let primed: Vec<(SimTime, Event)> = sim.world_mut().prime();
+        for (t, e) in primed {
+            sim.schedule(t, e);
+        }
+        sim.run_until(end);
+        let events = sim.events_processed();
+        let mut world = sim.into_world();
+        world.shadow_sync();
+        (check_invariants(&world), events)
+    }));
+    match outcome {
+        Ok((violations, events)) => (ctrl, violations, events),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            (ctrl, vec![format!("panic during schedule: {msg}")], 0)
+        }
+    }
+}
+
+/// Explores `job` depth-first until the decision tree is exhausted or
+/// `max_schedules` is reached.
+pub fn explore(job: &ExploreConfig) -> Exploration {
+    let mut result = Exploration {
+        label: job.label.clone(),
+        schedules: 0,
+        events: 0,
+        max_decisions: 0,
+        violations: 0,
+        sample: Vec::new(),
+        exhausted: false,
+        depth_truncated: false,
+    };
+    let mut prefix = Vec::new();
+    loop {
+        let (ctrl, violations, events) = run_schedule(job, prefix);
+        result.schedules += 1;
+        result.events += events;
+        result.violations += violations.len() as u64;
+        for v in violations {
+            if result.sample.len() < SAMPLE_CAP {
+                result.sample.push(format!("{}: {v}", result.label));
+            }
+        }
+        let ctrl = ctrl.borrow();
+        result.max_decisions = result.max_decisions.max(ctrl.record.len());
+        result.depth_truncated |= ctrl.depth_truncated;
+        if result.schedules >= job.max_schedules {
+            break;
+        }
+        match ctrl.next_prefix() {
+            Some(p) => prefix = p,
+            None => {
+                result.exhausted = true;
+                break;
+            }
+        }
+    }
+    result
+}
+
+/// Aggregated results of exploring a whole configuration matrix.
+#[derive(Debug, Clone, Default)]
+pub struct MatrixReport {
+    /// Per-configuration outcomes, in matrix order.
+    pub runs: Vec<Exploration>,
+}
+
+impl MatrixReport {
+    /// Schedules executed across the matrix.
+    pub fn total_schedules(&self) -> u64 {
+        self.runs.iter().map(|r| r.schedules).sum()
+    }
+
+    /// Invariant violations across the matrix.
+    pub fn total_violations(&self) -> u64 {
+        self.runs.iter().map(|r| r.violations).sum()
+    }
+
+    /// Events processed across the matrix.
+    pub fn total_events(&self) -> u64 {
+        self.runs.iter().map(|r| r.events).sum()
+    }
+
+    /// Whether every explored schedule satisfied every invariant.
+    pub fn clean(&self) -> bool {
+        self.total_violations() == 0
+    }
+}
+
+/// The standard exploration matrix: {CDNA validated, Xen bridged} ×
+/// {2, 3 guests} × {transmit, receive}, with the shadow checker on and
+/// short warm-up/measure windows (`window_us` simulated microseconds)
+/// so thousands of schedules stay affordable. `per_config_schedules`
+/// bounds each cell's DFS and `tie_window_ns` sets the jitter tie
+/// window (see [`ExploreConfig::tie_window`]).
+pub fn default_matrix(
+    window_us: u64,
+    per_config_schedules: u64,
+    max_depth: usize,
+    tie_window_ns: u64,
+) -> Vec<ExploreConfig> {
+    let mut jobs = Vec::new();
+    let models = [
+        IoModel::Cdna {
+            policy: DmaPolicy::Validated,
+        },
+        IoModel::XenBridged {
+            nic: NicKind::Intel,
+        },
+    ];
+    for io in models {
+        for guests in [2u16, 3] {
+            for dir in [Direction::Transmit, Direction::Receive] {
+                let mut cfg = TestbedConfig::new(io, guests, dir);
+                cfg.warmup = SimTime::from_us(window_us / 3);
+                cfg.measure = SimTime::from_us(window_us - window_us / 3);
+                cfg.shadow_check = true;
+                let dir_name = match dir {
+                    Direction::Transmit => "tx",
+                    Direction::Receive => "rx",
+                };
+                jobs.push(ExploreConfig {
+                    label: format!("{}/{}g/{}", io.label(), guests, dir_name),
+                    cfg,
+                    max_schedules: per_config_schedules,
+                    max_depth,
+                    tie_window: SimTime::from_ns(tie_window_ns),
+                });
+            }
+        }
+    }
+    jobs
+}

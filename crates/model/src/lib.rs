@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! cdna-model: bounded exhaustive schedule exploration for the CDNA
+//! DMA protection protocol.
+//!
+//! The simulation engine is deterministic: equal-time events fire in
+//! schedule (FIFO) order. That determinism is what makes runs
+//! reproducible — but it also means every regular run examines exactly
+//! **one** interleaving of each set of same-timestamp events, and a
+//! protocol bug that only surfaces under a different interleaving stays
+//! invisible. This crate turns the tie-break rule into a *decision
+//! point* and explores the alternatives exhaustively, up to bounds:
+//!
+//! * [`queue::PermutationQueue`] plugs into the engine through
+//!   [`cdna_sim::Simulation::with_event_queue`] and, at every
+//!   same-timestamp tie, asks a [`queue::Controller`] which event to
+//!   deliver first;
+//! * the controller replays a recorded *prefix* of choices and then
+//!   takes the first untried branch — stateless depth-first search in
+//!   the style of stateless model checkers (VeriSoft, dporDPOR): each
+//!   schedule re-runs the whole simulation from
+//!   [`cdna_system::SystemWorld::build`], so no state snapshotting is
+//!   needed and the engine under test is the *real* engine;
+//! * commutative tie pairs are pruned sleep-set style: two events
+//!   scoped to different NICs are treated as independent, so only
+//!   orderings that permute *dependent* events (same NIC, or global
+//!   CPU/measurement events) fork new schedules;
+//! * after every schedule, [`explore`] checks the full invariant suite:
+//!   zero `DmaShadow` violations (pin lifecycle, sequence continuity),
+//!   zero protection faults, event-channel conservation
+//!   (`sent == collected + pending`), and CDNA pin balance (pool pins
+//!   == protection-engine pinned pages).
+//!
+//! # What the bounds do and don't prove
+//!
+//! Exploration is exhaustive only up to its bounds (`max_schedules`,
+//! `max_depth`) and up to the independence relation: a clean report
+//! means *no explored interleaving* violates an invariant, not that
+//! none exists. The `mutations` feature calibrates the checker itself:
+//! four seeded protocol bugs ([`cdna_mem::mutation::MutationKind`])
+//! must each be caught by some explored schedule, which the `cdna-model`
+//! tests and CI assert.
+
+pub mod explore;
+pub mod queue;
+
+pub use explore::{
+    check_invariants, default_matrix, explore, Exploration, ExploreConfig, MatrixReport,
+};
+pub use queue::{dependent, Controller, Decision, PermutationQueue};

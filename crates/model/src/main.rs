@@ -1,0 +1,247 @@
+//! `cdna-model`: bounded exhaustive schedule exploration CLI.
+//!
+//! Explores the standard configuration matrix ({CDNA, Xen-bridged} ×
+//! {2, 3 guests} × {tx, rx}) depth-first over same-timestamp event
+//! permutations and checks the invariant suite after every schedule.
+//!
+//! ```text
+//! cdna-model [--out report.json] [--window-us N] [--per-config N]
+//!            [--max-depth N] [--mutation NAME [--expect-caught]]
+//! ```
+//!
+//! Exit status: 0 on a clean exploration (or, with `--expect-caught`,
+//! when the seeded mutation WAS caught); 1 when an invariant is
+//! violated without a mutation, when an expected mutation escapes, or
+//! on bad usage.
+
+use std::process::ExitCode;
+
+use cdna_mem::mutation::{self, MutationKind};
+use cdna_model::{default_matrix, explore, MatrixReport};
+use cdna_trace::json::JsonWriter;
+
+/// Parsed command-line options.
+struct Options {
+    out: Option<String>,
+    window_us: u64,
+    per_config: u64,
+    max_depth: usize,
+    tie_window_ns: u64,
+    mutation: Option<MutationKind>,
+    expect_caught: bool,
+}
+
+impl Options {
+    fn default() -> Options {
+        Options {
+            out: None,
+            window_us: 1000,
+            per_config: 1600,
+            max_depth: 64,
+            tie_window_ns: 2000,
+            mutation: None,
+            expect_caught: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cdna-model [--out PATH] [--window-us N] [--per-config N] \
+         [--max-depth N] [--tie-window-ns N] [--mutation NAME] [--expect-caught]"
+    );
+    eprintln!("mutations: {}", names().join(", "));
+    std::process::exit(2);
+}
+
+fn names() -> Vec<&'static str> {
+    mutation::ALL.iter().map(|m| m.name()).collect()
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} requires a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--out" => opts.out = Some(value("--out")),
+            "--window-us" => {
+                opts.window_us = value("--window-us").parse().unwrap_or_else(|_| usage())
+            }
+            "--per-config" => {
+                opts.per_config = value("--per-config").parse().unwrap_or_else(|_| usage())
+            }
+            "--max-depth" => {
+                opts.max_depth = value("--max-depth").parse().unwrap_or_else(|_| usage())
+            }
+            "--tie-window-ns" => {
+                opts.tie_window_ns = value("--tie-window-ns").parse().unwrap_or_else(|_| usage())
+            }
+            "--mutation" => {
+                let name = value("--mutation");
+                match MutationKind::parse(&name) {
+                    Some(m) => opts.mutation = Some(m),
+                    None => {
+                        eprintln!("unknown mutation {name:?}");
+                        usage();
+                    }
+                }
+            }
+            "--expect-caught" => opts.expect_caught = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    if opts.expect_caught && opts.mutation.is_none() {
+        eprintln!("--expect-caught requires --mutation");
+        usage();
+    }
+    opts
+}
+
+/// Serializes the matrix report. Schema is versioned so CI consumers
+/// can assert compatibility.
+fn render(report: &MatrixReport, opts: &Options) -> String {
+    let mut w = JsonWriter::with_capacity(4096);
+    w.begin_object();
+    w.key("schema_version");
+    w.number_u64(1);
+    w.key("tool");
+    w.string("cdna-model");
+    w.key("mutation");
+    match opts.mutation {
+        Some(m) => w.string(m.name()),
+        None => w.null(),
+    }
+    w.key("bounds");
+    w.begin_object();
+    w.key("window_us");
+    w.number_u64(opts.window_us);
+    w.key("per_config_schedules");
+    w.number_u64(opts.per_config);
+    w.key("max_depth");
+    w.number_u64(opts.max_depth as u64);
+    w.key("tie_window_ns");
+    w.number_u64(opts.tie_window_ns);
+    w.end_object();
+    w.key("matrix");
+    w.begin_array();
+    for run in &report.runs {
+        w.begin_object();
+        w.key("label");
+        w.string(&run.label);
+        w.key("schedules");
+        w.number_u64(run.schedules);
+        w.key("events");
+        w.number_u64(run.events);
+        w.key("max_decisions");
+        w.number_u64(run.max_decisions as u64);
+        w.key("violations");
+        w.number_u64(run.violations);
+        w.key("exhausted");
+        w.boolean(run.exhausted);
+        w.key("depth_truncated");
+        w.boolean(run.depth_truncated);
+        w.key("sample");
+        w.begin_array();
+        for s in &run.sample {
+            w.string(s);
+        }
+        w.end_array();
+        w.end_object();
+    }
+    w.end_array();
+    w.key("totals");
+    w.begin_object();
+    w.key("schedules");
+    w.number_u64(report.total_schedules());
+    w.key("events");
+    w.number_u64(report.total_events());
+    w.key("violations");
+    w.number_u64(report.total_violations());
+    w.key("clean");
+    w.boolean(report.clean());
+    w.end_object();
+    w.end_object();
+    w.finish()
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    mutation::set_active(opts.mutation);
+
+    let jobs = default_matrix(
+        opts.window_us,
+        opts.per_config,
+        opts.max_depth,
+        opts.tie_window_ns,
+    );
+    let mut report = MatrixReport::default();
+    for job in &jobs {
+        let run = explore(job);
+        eprintln!(
+            "{:24} {:>7} schedules  {:>9} events  depth<={:<3} {} violations{}{}",
+            run.label,
+            run.schedules,
+            run.events,
+            run.max_decisions,
+            run.violations,
+            if run.exhausted { "  (exhausted)" } else { "" },
+            if run.depth_truncated {
+                "  (depth-truncated)"
+            } else {
+                ""
+            },
+        );
+        let caught = run.violations > 0;
+        report.runs.push(run);
+        // Calibration runs only need one catching config; stop early.
+        if opts.expect_caught && caught {
+            break;
+        }
+    }
+    mutation::set_active(None);
+
+    let json = render(&report, &opts);
+    if let Some(path) = &opts.out {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("report written to {path}");
+    } else {
+        println!("{json}");
+    }
+
+    let ok = if opts.mutation.is_some() && opts.expect_caught {
+        let caught = !report.clean();
+        if caught {
+            eprintln!("mutation caught, as expected");
+        } else {
+            eprintln!("ERROR: seeded mutation escaped the explored schedules");
+        }
+        caught
+    } else {
+        if !report.clean() {
+            for run in &report.runs {
+                for s in &run.sample {
+                    eprintln!("violation: {s}");
+                }
+            }
+        }
+        report.clean()
+    };
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

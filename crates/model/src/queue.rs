@@ -1,0 +1,318 @@
+//! The permutation event queue and its schedule controller.
+//!
+//! [`PermutationQueue`] is an [`EventQueue`] that delivers events in
+//! ascending time order but lets a [`Controller`] pick *which* of the
+//! events tied at the minimum timestamp goes first. Replaying a recorded
+//! prefix of picks reproduces a schedule exactly (the simulation is
+//! otherwise deterministic); diverging at the deepest unexplored branch
+//! enumerates all schedules depth-first.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use cdna_sim::{EventQueue, SimTime};
+use cdna_system::Event;
+
+/// The NIC an event is scoped to, or `None` for global events
+/// (CPU dispatch and the measurement-window markers).
+fn nic_scope(e: &Event) -> Option<usize> {
+    match e {
+        Event::PhysIrq { nic, .. }
+        | Event::EmissionDue { nic, .. }
+        | Event::WireTxDone { nic, .. }
+        | Event::WireRxArrive { nic, .. }
+        | Event::PeerPump { nic } => Some(*nic),
+        Event::CpuDispatch | Event::StartMeasure | Event::StopMeasure => None,
+    }
+}
+
+/// Whether delivering `a` and `b` in either order can produce different
+/// outcomes.
+///
+/// Events scoped to *different* NICs only touch per-NIC device, wire,
+/// and ring state plus commutative global counters, so they are treated
+/// as independent and their tie orders are not both explored. Global
+/// events (CPU dispatch, measurement markers) conflict with everything.
+/// This is a partial-order reduction in the sleep-set style; see the
+/// crate docs for what that does and does not prove.
+pub fn dependent(a: &Event, b: &Event) -> bool {
+    match (nic_scope(a), nic_scope(b)) {
+        (Some(x), Some(y)) => x == y,
+        _ => true,
+    }
+}
+
+/// One recorded scheduling decision: which tie-set member was delivered
+/// and which members were worth exploring at all.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    /// Index (into the tie set) of the event that was delivered.
+    pub chosen: usize,
+    /// Explorable tie-set indices, ascending; `chosen` is one of them
+    /// except beyond the depth bound.
+    pub candidates: Vec<usize>,
+}
+
+/// Replays a prefix of scheduling choices, then defaults to the first
+/// candidate, recording every decision for backtracking.
+#[derive(Debug, Default)]
+pub struct Controller {
+    prefix: Vec<usize>,
+    cursor: usize,
+    /// Decisions taken this run, in order.
+    pub record: Vec<Decision>,
+    max_depth: usize,
+    /// Whether the depth bound suppressed at least one decision.
+    pub depth_truncated: bool,
+}
+
+impl Controller {
+    /// A controller that replays `prefix` and records at most
+    /// `max_depth` decisions.
+    pub fn new(prefix: Vec<usize>, max_depth: usize) -> Self {
+        Controller {
+            prefix,
+            cursor: 0,
+            record: Vec::new(),
+            max_depth,
+            depth_truncated: false,
+        }
+    }
+
+    /// Picks a tie-set member from `candidates` (ascending, non-empty,
+    /// first element 0): the replayed prefix choice while one remains,
+    /// the first candidate otherwise.
+    pub fn choose(&mut self, candidates: Vec<usize>) -> usize {
+        if self.record.len() >= self.max_depth {
+            self.depth_truncated = true;
+            return candidates[0];
+        }
+        let chosen = if self.cursor < self.prefix.len() {
+            self.prefix[self.cursor]
+        } else {
+            candidates[0]
+        };
+        self.cursor += 1;
+        self.record.push(Decision { chosen, candidates });
+        chosen
+    }
+
+    /// The prefix for the next unexplored schedule: backtracks to the
+    /// deepest decision with an untried candidate after `chosen`.
+    /// `None` when the bounded tree is exhausted.
+    pub fn next_prefix(&self) -> Option<Vec<usize>> {
+        for d in (0..self.record.len()).rev() {
+            let dec = &self.record[d];
+            let pos = dec.candidates.iter().position(|&c| c == dec.chosen);
+            if let Some(pos) = pos {
+                if pos + 1 < dec.candidates.len() {
+                    let mut p: Vec<usize> = self.record[..d].iter().map(|x| x.chosen).collect();
+                    p.push(dec.candidates[pos + 1]);
+                    return Some(p);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// An [`EventQueue`] whose same-timestamp tie-breaks are controlled by a
+/// shared [`Controller`].
+///
+/// The queue keeps events sorted ascending by `(time, seq)` so the tie
+/// set at the minimum time is a contiguous run at the front; a pop
+/// delivers the controller's pick from that run.
+///
+/// With a nonzero `tie_window` the tie set widens to every pending
+/// event within the window of the earliest one, modeling bounded timing
+/// jitter in the cost model's point estimates (an interrupt can fire a
+/// hair before a scheduler tick that nominally precedes it). Events
+/// delivered out of raw-time order are lifted to the latest time
+/// already delivered, so the engine's clock-monotonicity invariant
+/// holds for every schedule.
+#[derive(Debug)]
+pub struct PermutationQueue {
+    pending: Vec<(SimTime, u64, Event)>,
+    ctrl: Rc<RefCell<Controller>>,
+    tie_window: SimTime,
+    last_delivered: SimTime,
+}
+
+impl PermutationQueue {
+    /// An empty queue driven by `ctrl`, forking only exact ties.
+    pub fn new(ctrl: Rc<RefCell<Controller>>) -> Self {
+        PermutationQueue::with_window(ctrl, SimTime::ZERO)
+    }
+
+    /// An empty queue driven by `ctrl` that treats events within
+    /// `tie_window` of the earliest pending event as tied.
+    pub fn with_window(ctrl: Rc<RefCell<Controller>>, tie_window: SimTime) -> Self {
+        PermutationQueue {
+            pending: Vec::new(),
+            ctrl,
+            tie_window,
+            last_delivered: SimTime::ZERO,
+        }
+    }
+
+    /// Index of the event to deliver next, consulting the controller
+    /// when the minimum-time tie set has more than one explorable
+    /// member.
+    fn pick(&self) -> Option<usize> {
+        let &(t0, _, _) = self.pending.first()?;
+        let horizon = t0.checked_add(self.tie_window).unwrap_or(t0);
+        let tie = self.pending.iter().take_while(|q| q.0 <= horizon).count();
+        if tie <= 1 {
+            return Some(0);
+        }
+        // Sleep-set pruning: candidate j is explorable iff it is the
+        // default (j == 0) or it conflicts with some event before it in
+        // the tie set — swapping independent events cannot change the
+        // outcome, so those orders are never forked.
+        let mut candidates = vec![0];
+        for j in 1..tie {
+            if (0..j).any(|i| dependent(&self.pending[i].2, &self.pending[j].2)) {
+                candidates.push(j);
+            }
+        }
+        if candidates.len() == 1 {
+            return Some(0);
+        }
+        Some(self.ctrl.borrow_mut().choose(candidates))
+    }
+}
+
+impl EventQueue<Event> for PermutationQueue {
+    fn push(&mut self, at: SimTime, seq: u64, event: Event) {
+        let pos = self.pending.partition_point(|q| (q.0, q.1) <= (at, seq));
+        self.pending.insert(pos, (at, seq, event));
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, u64, Event)> {
+        let idx = self.pick()?;
+        let (at, seq, event) = self.pending.remove(idx);
+        // Jitter lift: an event overtaken inside the tie window is
+        // delivered at the overtaker's time so the clock never regresses.
+        let at = at.max(self.last_delivered);
+        self.last_delivered = at;
+        Some((at, seq, event))
+    }
+
+    fn pop_due(&mut self, deadline: SimTime) -> Option<(SimTime, u64, Event)> {
+        if self.pending.first()?.0 > deadline {
+            return None;
+        }
+        self.pop()
+    }
+
+    fn len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctrl(prefix: Vec<usize>) -> Rc<RefCell<Controller>> {
+        Rc::new(RefCell::new(Controller::new(prefix, 64)))
+    }
+
+    fn nic_event(nic: usize) -> Event {
+        Event::PeerPump { nic }
+    }
+
+    #[test]
+    fn singleton_pops_need_no_decision() {
+        let c = ctrl(vec![]);
+        let mut q = PermutationQueue::new(Rc::clone(&c));
+        q.push(SimTime::from_ns(10), 0, nic_event(0));
+        q.push(SimTime::from_ns(20), 1, nic_event(0));
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none());
+        assert!(c.borrow().record.is_empty());
+    }
+
+    #[test]
+    fn dependent_tie_forks_and_prefix_replays_the_branch() {
+        // Two same-NIC events tied at t=5: dependent, so both orders
+        // are schedules.
+        let c = ctrl(vec![]);
+        let mut q = PermutationQueue::new(Rc::clone(&c));
+        q.push(SimTime::from_ns(5), 0, nic_event(0));
+        q.push(SimTime::from_ns(5), 1, nic_event(0));
+        let first = q.pop().map(|(_, seq, _)| seq);
+        assert_eq!(first, Some(0), "default order is FIFO");
+        let next = c.borrow().next_prefix();
+        assert_eq!(next, Some(vec![1]), "the swap is the next schedule");
+
+        let c2 = ctrl(vec![1]);
+        let mut q2 = PermutationQueue::new(Rc::clone(&c2));
+        q2.push(SimTime::from_ns(5), 0, nic_event(0));
+        q2.push(SimTime::from_ns(5), 1, nic_event(0));
+        assert_eq!(q2.pop().map(|(_, s, _)| s), Some(1), "replayed swap");
+        assert_eq!(q2.pop().map(|(_, s, _)| s), Some(0));
+        assert_eq!(c2.borrow().next_prefix(), None, "tree exhausted");
+    }
+
+    #[test]
+    fn independent_ties_are_pruned() {
+        // Different NICs: commutative, no fork.
+        let c = ctrl(vec![]);
+        let mut q = PermutationQueue::new(Rc::clone(&c));
+        q.push(SimTime::from_ns(5), 0, nic_event(0));
+        q.push(SimTime::from_ns(5), 1, nic_event(1));
+        assert_eq!(q.pop().map(|(_, s, _)| s), Some(0));
+        assert!(c.borrow().record.is_empty(), "no decision recorded");
+        assert_eq!(c.borrow().next_prefix(), None);
+    }
+
+    #[test]
+    fn global_events_conflict_with_everything() {
+        assert!(dependent(&Event::CpuDispatch, &nic_event(3)));
+        assert!(dependent(&nic_event(3), &Event::StopMeasure));
+        assert!(dependent(&nic_event(2), &nic_event(2)));
+        assert!(!dependent(&nic_event(2), &nic_event(3)));
+    }
+
+    #[test]
+    fn depth_bound_truncates_recording() {
+        let c = Rc::new(RefCell::new(Controller::new(vec![], 1)));
+        let mut q = PermutationQueue::new(Rc::clone(&c));
+        for seq in 0..4 {
+            q.push(SimTime::from_ns(5), seq, nic_event(0));
+        }
+        while q.pop().is_some() {}
+        let ctrl = c.borrow();
+        assert_eq!(ctrl.record.len(), 1, "only the first decision recorded");
+        assert!(ctrl.depth_truncated);
+    }
+
+    #[test]
+    fn three_way_dfs_enumerates_all_dependent_orders() {
+        // Three same-NIC events tied at one time: 3! = 6 schedules.
+        let mut seen = Vec::new();
+        let mut prefix = Vec::new();
+        loop {
+            let c = Rc::new(RefCell::new(Controller::new(prefix.clone(), 64)));
+            let mut q = PermutationQueue::new(Rc::clone(&c));
+            for seq in 0..3 {
+                q.push(SimTime::from_ns(7), seq, nic_event(0));
+            }
+            let mut order = Vec::new();
+            while let Some((_, seq, _)) = q.pop() {
+                order.push(seq);
+            }
+            seen.push(order);
+            let next = c.borrow().next_prefix();
+            match next {
+                Some(p) => prefix = p,
+                None => break,
+            }
+        }
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), 6, "all permutations explored exactly once");
+    }
+}

@@ -37,8 +37,12 @@ pub struct Scheduler<E> {
 
 impl<E> Scheduler<E> {
     fn new(kind: QueueKind) -> Self {
+        Scheduler::from_impl(QueueImpl::new(kind))
+    }
+
+    fn from_impl(queue: QueueImpl<E>) -> Self {
         Scheduler {
-            queue: QueueImpl::new(kind),
+            queue,
             next_seq: 0,
             scheduled: 0,
             tracer: None,
@@ -119,6 +123,22 @@ impl<W: World> Simulation<W> {
         Simulation {
             world,
             sched: Scheduler::new(kind),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Creates a simulation at time zero backed by a caller-supplied
+    /// event queue.
+    ///
+    /// The queue must never deliver an event before one already popped
+    /// (time must stay monotone), but it *may* reorder same-time ties —
+    /// the `cdna-model` schedule explorer exploits exactly that freedom
+    /// to enumerate tie-break interleavings of one logical run.
+    pub fn with_event_queue(world: W, queue: Box<dyn EventQueue<W::Event>>) -> Self {
+        Simulation {
+            world,
+            sched: Scheduler::from_impl(QueueImpl::Custom(queue)),
             now: SimTime::ZERO,
             processed: 0,
         }

@@ -39,7 +39,7 @@ mod stats;
 mod time;
 
 pub use engine::{Scheduler, Simulation, World};
-pub use queue::QueueKind;
+pub use queue::{EventQueue, QueueKind};
 pub use rng::SimRng;
 pub use stats::{RateMeter, RunningStats};
 pub use time::SimTime;

@@ -371,11 +371,25 @@ impl QueueKind {
 
 /// Enum dispatch over the two queue kinds — avoids both genericizing
 /// `Scheduler` (which would ripple a type parameter through `World`
-/// implementations) and a `dyn` indirection on the hot path.
-#[derive(Debug)]
+/// implementations) and a `dyn` indirection on the hot path. The
+/// `Custom` variant is the escape hatch for externally supplied queues
+/// (the `cdna-model` schedule explorer swaps in a permutation queue that
+/// deliberately reorders same-time ties); it pays the `dyn` cost, but
+/// only runs under the model checker, never on the perf path.
 pub(crate) enum QueueImpl<E> {
     Heap(HeapQueue<E>),
     Wheel(TimerWheel<E>),
+    Custom(Box<dyn EventQueue<E>>),
+}
+
+impl<E: std::fmt::Debug> std::fmt::Debug for QueueImpl<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueueImpl::Heap(q) => f.debug_tuple("Heap").field(q).finish(),
+            QueueImpl::Wheel(q) => f.debug_tuple("Wheel").field(q).finish(),
+            QueueImpl::Custom(q) => f.debug_struct("Custom").field("len", &q.len()).finish(),
+        }
+    }
 }
 
 impl<E> QueueImpl<E> {
@@ -393,6 +407,7 @@ impl<E> EventQueue<E> for QueueImpl<E> {
         match self {
             QueueImpl::Heap(q) => q.push(at, seq, event),
             QueueImpl::Wheel(q) => q.push(at, seq, event),
+            QueueImpl::Custom(q) => q.push(at, seq, event),
         }
     }
 
@@ -401,6 +416,7 @@ impl<E> EventQueue<E> for QueueImpl<E> {
         match self {
             QueueImpl::Heap(q) => q.pop(),
             QueueImpl::Wheel(q) => q.pop(),
+            QueueImpl::Custom(q) => q.pop(),
         }
     }
 
@@ -409,6 +425,7 @@ impl<E> EventQueue<E> for QueueImpl<E> {
         match self {
             QueueImpl::Heap(q) => q.pop_due(deadline),
             QueueImpl::Wheel(q) => q.pop_due(deadline),
+            QueueImpl::Custom(q) => q.pop_due(deadline),
         }
     }
 
@@ -417,6 +434,7 @@ impl<E> EventQueue<E> for QueueImpl<E> {
         match self {
             QueueImpl::Heap(q) => q.len(),
             QueueImpl::Wheel(q) => q.len(),
+            QueueImpl::Custom(q) => q.len(),
         }
     }
 }

@@ -119,6 +119,7 @@ pub struct EventChannels {
     pending: Vec<PendingIrqs>,
     sent: u64,
     coalesced: u64,
+    collected: u64,
 }
 
 impl EventChannels {
@@ -140,6 +141,13 @@ impl EventChannels {
             self.sent += 1;
             true
         } else {
+            #[cfg(feature = "mutations")]
+            if cdna_mem::mutation::is_active(cdna_mem::mutation::MutationKind::IrqDoublePost) {
+                // Seeded bug: count a coalesced send as a fresh delivery,
+                // breaking `sent == collected + pending`.
+                self.sent += 1;
+                return true;
+            }
             self.coalesced += 1;
             false
         }
@@ -157,7 +165,10 @@ impl EventChannels {
     #[inline]
     pub fn collect(&mut self, dom: DomainId) -> PendingIrqs {
         match self.pending.get_mut(dom.0 as usize) {
-            Some(p) => std::mem::take(p),
+            Some(p) => {
+                self.collected += p.len() as u64;
+                std::mem::take(p)
+            }
             None => PendingIrqs::default(),
         }
     }
@@ -170,6 +181,20 @@ impl EventChannels {
     /// Sends absorbed by an already-pending interrupt.
     pub fn coalesced(&self) -> u64 {
         self.coalesced
+    }
+
+    /// Virtual interrupts picked up by [`EventChannels::collect`].
+    pub fn collected(&self) -> u64 {
+        self.collected
+    }
+
+    /// Interrupt lines currently pending across all domains.
+    ///
+    /// Conservation invariant (checked per-schedule by `cdna-model`):
+    /// `sent() == collected() + pending_total()` — every delivered
+    /// interrupt is either already picked up or still pending.
+    pub fn pending_total(&self) -> u64 {
+        self.pending.iter().map(|p| p.len() as u64).sum()
     }
 }
 
@@ -237,5 +262,20 @@ mod tests {
         ev.collect(dom);
         ev.send(dom, VirtualIrq::NicPhys);
         assert_eq!(ev.sent(), 2);
+    }
+
+    #[test]
+    fn conservation_holds_across_send_and_collect() {
+        let mut ev = EventChannels::new();
+        let a = DomainId::guest(0);
+        let b = DomainId::guest(1);
+        ev.send(a, VirtualIrq::Netfront);
+        ev.send(a, VirtualIrq::Cdna);
+        ev.send(b, VirtualIrq::Netback);
+        assert_eq!(ev.sent(), ev.collected() + ev.pending_total());
+        ev.collect(a);
+        assert_eq!(ev.collected(), 2);
+        assert_eq!(ev.pending_total(), 1);
+        assert_eq!(ev.sent(), ev.collected() + ev.pending_total());
     }
 }

@@ -3,11 +3,12 @@
 //!
 //! Larger batches amortize hypercall entry/exit over more descriptors
 //! but delay the doorbell; the paper's driver batches naturally at the
-//! interrupt cadence (~10-12 descriptors).
+//! interrupt cadence (~10-12 descriptors). The sweep points run
+//! concurrently on the worker pool (`--jobs N`).
 
 use cdna_bench::header;
 use cdna_core::DmaPolicy;
-use cdna_system::{run_experiment, Direction, IoModel, TestbedConfig};
+use cdna_system::{Direction, IoModel, TestbedConfig};
 
 fn main() {
     header("Ablation — CDNA hypercall batch size (1 guest, transmit)");
@@ -15,16 +16,23 @@ fn main() {
         "{:>6} | {:>12} {:>12} {:>14} {:>12}",
         "batch", "Mb/s", "idle %", "hypercalls/s", "hyp %"
     );
-    for batch in [1u32, 2, 4, 8, 10, 16, 32, 64] {
-        let mut cfg = TestbedConfig::new(
-            IoModel::Cdna {
-                policy: DmaPolicy::Validated,
-            },
-            1,
-            Direction::Transmit,
-        );
-        cfg.hypercall_batch = batch;
-        let r = run_experiment(cfg);
+    let batches = [1u32, 2, 4, 8, 10, 16, 32, 64];
+    let configs: Vec<_> = batches
+        .iter()
+        .map(|&batch| {
+            let mut cfg = TestbedConfig::new(
+                IoModel::Cdna {
+                    policy: DmaPolicy::Validated,
+                },
+                1,
+                Direction::Transmit,
+            );
+            cfg.hypercall_batch = batch;
+            cfg
+        })
+        .collect();
+    let reports = cdna_bench::run_parallel(configs);
+    for (batch, r) in batches.iter().zip(&reports) {
         println!(
             "{:>6} | {:>12.0} {:>12.1} {:>14.0} {:>12.1}",
             batch,

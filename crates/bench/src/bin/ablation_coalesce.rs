@@ -1,11 +1,12 @@
 //! Ablation: the CDNA interrupt bit-vector coalescing interval
 //! (DESIGN.md §7). Shorter intervals cut latency but raise the
-//! interrupt-dispatch load in the hypervisor and guests.
+//! interrupt-dispatch load in the hypervisor and guests. The sweep
+//! points run concurrently on the worker pool (`--jobs N`).
 
 use cdna_bench::header;
 use cdna_core::DmaPolicy;
 use cdna_sim::SimTime;
-use cdna_system::{run_experiment, Direction, IoModel, TestbedConfig};
+use cdna_system::{Direction, IoModel, TestbedConfig};
 
 fn main() {
     header("Ablation — CDNA interrupt coalescing interval (4 guests, transmit)");
@@ -13,16 +14,23 @@ fn main() {
         "{:>10} | {:>12} {:>12} {:>14} {:>12}",
         "gap (us)", "Mb/s", "idle %", "guest int/s", "hyp %"
     );
-    for gap_us in [20u64, 50, 100, 146, 250, 500, 1000] {
-        let mut cfg = TestbedConfig::new(
-            IoModel::Cdna {
-                policy: DmaPolicy::Validated,
-            },
-            4,
-            Direction::Transmit,
-        );
-        cfg.ricenic.coalesce_tx = SimTime::from_us(gap_us);
-        let r = run_experiment(cfg);
+    let gaps = [20u64, 50, 100, 146, 250, 500, 1000];
+    let configs: Vec<_> = gaps
+        .iter()
+        .map(|&gap_us| {
+            let mut cfg = TestbedConfig::new(
+                IoModel::Cdna {
+                    policy: DmaPolicy::Validated,
+                },
+                4,
+                Direction::Transmit,
+            );
+            cfg.ricenic.coalesce_tx = SimTime::from_us(gap_us);
+            cfg
+        })
+        .collect();
+    let reports = cdna_bench::run_parallel(configs);
+    for (gap_us, r) in gaps.iter().zip(&reports) {
         println!(
             "{:>10} | {:>12.0} {:>12.1} {:>14.0} {:>12.1}",
             gap_us,

@@ -10,20 +10,31 @@
 //! ```sh
 //! cargo run --release -p cdna-bench --bin perf            # full suite
 //! cargo run --release -p cdna-bench --bin perf -- --quick # CI smoke
+//! cargo run --release -p cdna-bench --bin perf -- --jobs 8 # fan out
 //! ```
 //!
 //! The suite is {CDNA, Xen-softvirt} × {TX, RX} × {1, 8, 24} guests,
-//! all at the default seed. Results land in `BENCH.json` at the repo
-//! root (override with `--out`). Every field except the wall-clock
-//! derived ones (`wall_ms`, `events_per_sec`, `ns_per_event`) is
-//! deterministic run-to-run; the harness re-runs each config `--reps`
-//! times, asserts the simulated outcome is identical across reps, and
-//! reports the best wall time.
+//! all at the default seed (see [`cdna_bench::perf_suite`]). Results
+//! land in `BENCH.json` at the repo root (override with `--out`). Every
+//! field except the wall-clock derived ones (`wall_ms*`,
+//! `events_per_sec`, `ns_per_event`) is deterministic run-to-run; the
+//! harness re-runs each config `--reps` times, asserts the simulated
+//! outcome is identical across reps, and reports the best wall time
+//! plus the min/median/max spread so the perf trajectory is
+//! noise-aware.
+//!
+//! Suite entries run concurrently on the `cdna-sim` worker pool
+//! (`--jobs N`, `CDNA_JOBS`, default `min(cores, entries)`).
+//! Per-entry wall times are measured inside the entry's worker —
+//! meaningful for relative comparisons but contended at `jobs > 1` —
+//! while `aggregate.wall_ms_parallel` is the whole suite's elapsed
+//! wall-clock, the number the fan-out actually improves.
 
 use std::time::Instant;
 
-use cdna_core::DmaPolicy;
-use cdna_system::{run_experiment, Direction, IoModel, NicKind, QueueKind, TestbedConfig};
+use cdna_bench::{perf_suite, PerfEntry};
+use cdna_sim::{par, QueueKind};
+use cdna_system::{run_experiment, Direction};
 use cdna_trace::json::JsonWriter;
 
 /// Bump when the `BENCH.json` layout changes shape (adding fields is
@@ -34,74 +45,38 @@ const SCHEMA: &str = "cdna-bench/1";
 const DEFAULT_REPS: u32 = 3;
 
 fn usage() -> ! {
-    eprintln!("usage: perf [--quick] [--reps N] [--queue heap|wheel] [--out PATH] [--stdout]");
+    eprintln!(
+        "usage: perf [--quick] [--reps N] [--jobs N] [--queue heap|wheel] [--out PATH] [--stdout]"
+    );
     std::process::exit(2);
 }
 
-struct SuiteEntry {
-    id: &'static str,
-    io_name: &'static str,
-    io: IoModel,
-    direction: Direction,
-    guests: u16,
-}
-
-fn suite() -> Vec<SuiteEntry> {
-    let cdna = IoModel::Cdna {
-        policy: DmaPolicy::Validated,
-    };
-    let soft = IoModel::XenBridged {
-        nic: NicKind::Intel,
-    };
-    let mut entries = Vec::new();
-    for (io_name, io, direction, dir_name) in [
-        ("cdna", cdna, Direction::Transmit, "tx"),
-        ("cdna", cdna, Direction::Receive, "rx"),
-        ("softvirt", soft, Direction::Transmit, "tx"),
-        ("softvirt", soft, Direction::Receive, "rx"),
-    ] {
-        for guests in [1u16, 8, 24] {
-            let id: &'static str = Box::leak(
-                format!("{io_name}-{dir_name}-{guests}g").into_boxed_str(), // 12 ids, once per process
-            );
-            entries.push(SuiteEntry {
-                id,
-                io_name,
-                io,
-                direction,
-                guests,
-            });
-        }
-    }
-    entries
-}
-
 struct Measured {
-    entry: SuiteEntry,
+    entry: PerfEntry,
     seed: u64,
     events_processed: u64,
     throughput_mbps: f64,
     protection_faults: u64,
     sim_ms: f64,
+    /// Best (minimum) wall time across reps — the historical headline.
     wall_ms: f64,
+    /// Median wall time across reps.
+    wall_ms_median: f64,
+    /// Worst (maximum) wall time across reps.
+    wall_ms_max: f64,
 }
 
-fn measure(entry: SuiteEntry, quick: bool, reps: u32, queue: QueueKind) -> Measured {
-    let mut cfg = TestbedConfig::new(entry.io, entry.guests, entry.direction);
-    if quick {
-        cfg = cfg.quick();
-    }
-    cfg.queue = queue;
+fn measure(entry: PerfEntry, reps: u32) -> Measured {
+    let cfg = &entry.cfg;
     let sim_ms = (cfg.warmup + cfg.measure).as_ns() as f64 / 1e6;
     let seed = cfg.seed;
 
-    let mut best_wall_ms = f64::INFINITY;
+    let mut walls: Vec<f64> = Vec::with_capacity(reps.max(1) as usize);
     let mut outcome: Option<(u64, f64, u64)> = None;
     for _ in 0..reps.max(1) {
         let start = Instant::now();
         let report = run_experiment(cfg.clone());
-        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        best_wall_ms = best_wall_ms.min(wall_ms);
+        walls.push(start.elapsed().as_secs_f64() * 1e3);
         let this = (
             report.events_processed,
             report.throughput_mbps,
@@ -117,18 +92,33 @@ fn measure(entry: SuiteEntry, quick: bool, reps: u32, queue: QueueKind) -> Measu
         }
     }
     let (events_processed, throughput_mbps, protection_faults) = outcome.expect("reps >= 1"); // loop runs at least once
+    walls.sort_by(|a, b| a.total_cmp(b));
+    let median = if walls.len() % 2 == 1 {
+        walls[walls.len() / 2]
+    } else {
+        (walls[walls.len() / 2 - 1] + walls[walls.len() / 2]) / 2.0
+    };
     Measured {
-        entry,
         seed,
         events_processed,
         throughput_mbps,
         protection_faults,
         sim_ms,
-        wall_ms: best_wall_ms,
+        wall_ms: walls[0],
+        wall_ms_median: median,
+        wall_ms_max: walls[walls.len() - 1],
+        entry,
     }
 }
 
-fn write_json(results: &[Measured], quick: bool, reps: u32, queue: QueueKind) -> String {
+fn write_json(
+    results: &[Measured],
+    quick: bool,
+    reps: u32,
+    queue: QueueKind,
+    jobs: usize,
+    wall_ms_parallel: f64,
+) -> String {
     let mut w = JsonWriter::with_capacity(4096);
     w.begin_object();
     w.key("schema");
@@ -139,12 +129,14 @@ fn write_json(results: &[Measured], quick: bool, reps: u32, queue: QueueKind) ->
     w.string(queue.name());
     w.key("reps");
     w.number_u64(reps as u64);
+    w.key("jobs");
+    w.number_u64(jobs as u64);
     w.key("entries");
     w.begin_array();
     for m in results {
         w.begin_object();
         w.key("id");
-        w.string(m.entry.id);
+        w.string(&m.entry.id);
         w.key("io");
         w.string(m.entry.io_name);
         w.key("direction");
@@ -166,6 +158,12 @@ fn write_json(results: &[Measured], quick: bool, reps: u32, queue: QueueKind) ->
         w.number_f64(m.sim_ms);
         w.key("wall_ms");
         w.number_f64(m.wall_ms);
+        w.key("wall_ms_min");
+        w.number_f64(m.wall_ms);
+        w.key("wall_ms_median");
+        w.number_f64(m.wall_ms_median);
+        w.key("wall_ms_max");
+        w.number_f64(m.wall_ms_max);
         w.key("events_per_sec");
         w.number_f64(m.events_processed as f64 / (m.wall_ms / 1e3));
         w.key("ns_per_event");
@@ -197,6 +195,8 @@ fn write_json(results: &[Measured], quick: bool, reps: u32, queue: QueueKind) ->
     w.number_u64(all_events);
     w.key("wall_ms");
     w.number_f64(all_wall);
+    w.key("wall_ms_parallel");
+    w.number_f64(wall_ms_parallel);
     w.key("events_per_sec");
     w.number_f64(all_events as f64 / (all_wall / 1e3));
     w.key("events_per_sec_24g");
@@ -211,6 +211,7 @@ fn main() {
     let mut quick = false;
     let mut reps = DEFAULT_REPS;
     let mut queue = QueueKind::default();
+    let mut jobs_flag: Option<usize> = None;
     let mut out: Option<String> = None;
     let mut stdout = false;
     let mut i = 0;
@@ -225,6 +226,14 @@ fn main() {
                     .get(i + 1)
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--jobs" => {
+                jobs_flag = Some(
+                    args.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
                 i += 2;
             }
             "--queue" => {
@@ -253,21 +262,31 @@ fn main() {
         format!("{}/../../BENCH.json", env!("CARGO_MANIFEST_DIR")) // bench artifact location
     });
 
-    let mut results = Vec::new();
-    for entry in suite() {
-        let id = entry.id;
-        let m = measure(entry, quick, reps, queue);
+    let entries = perf_suite(quick, queue);
+    let jobs = par::resolve_jobs(jobs_flag, entries.len());
+    eprintln!("running {} entries on {} worker(s)", entries.len(), jobs);
+    let suite_start = Instant::now();
+    let results = par::run_indexed(jobs, entries, |_, entry| measure(entry, reps));
+    let wall_ms_parallel = suite_start.elapsed().as_secs_f64() * 1e3;
+    for m in &results {
         eprintln!(
-            "{:16} {:>9} events  {:>9.0} ev/s  {:>7.1} ns/ev  {:>8.2} ms wall",
-            id,
+            "{:16} {:>9} events  {:>9.0} ev/s  {:>7.1} ns/ev  {:>8.2} ms wall (med {:.2}, max {:.2})",
+            m.entry.id,
             m.events_processed,
             m.events_processed as f64 / (m.wall_ms / 1e3),
             m.wall_ms * 1e6 / m.events_processed as f64,
             m.wall_ms,
+            m.wall_ms_median,
+            m.wall_ms_max,
         );
-        results.push(m);
     }
-    let json = write_json(&results, quick, reps, queue);
+    eprintln!(
+        "suite wall-clock {:.2} ms at jobs={} (sum of per-entry best walls {:.2} ms)",
+        wall_ms_parallel,
+        jobs,
+        results.iter().map(|m| m.wall_ms).sum::<f64>(),
+    );
+    let json = write_json(&results, quick, reps, queue, jobs, wall_ms_parallel);
     if stdout {
         println!("{json}");
     } else {

@@ -1,9 +1,9 @@
 //! Regenerates Table 1: transmit and receive performance for native
 //! Linux and for a paravirtualized guest within Xen, on six gigabit
-//! NICs.
+//! NICs. Rows run concurrently on the worker pool (`--jobs N`).
 
 use cdna_bench::{compare_line, header, paper};
-use cdna_system::{run_experiment, Direction, IoModel, NicKind, TestbedConfig};
+use cdna_system::{Direction, IoModel, NicKind, TestbedConfig};
 
 fn main() {
     header("Table 1 — native Linux vs Xen guest (6 NICs)");
@@ -44,11 +44,17 @@ fn main() {
     // The paper measured Table 1 on six NICs (the Xen rows are CPU-bound
     // well below even two NICs' line rate, so the NIC count is moot for
     // them; we still configure six for fidelity).
-    for (label, io, dir, target) in cases {
-        let mut cfg = TestbedConfig::new(io, 1, dir).with_nics(6);
-        cfg.conns_per_guest = 12;
-        let r = run_experiment(cfg);
-        println!("{}", compare_line(label, target, r.throughput_mbps));
+    let configs: Vec<_> = cases
+        .iter()
+        .map(|&(_, io, dir, _)| {
+            let mut cfg = TestbedConfig::new(io, 1, dir).with_nics(6);
+            cfg.conns_per_guest = 12;
+            cfg
+        })
+        .collect();
+    let reports = cdna_bench::run_parallel(configs);
+    for ((label, _, _, target), r) in cases.iter().zip(&reports) {
+        println!("{}", compare_line(label, *target, r.throughput_mbps));
         assert_eq!(r.protection_faults, 0);
     }
     println!();

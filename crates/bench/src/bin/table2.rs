@@ -1,10 +1,11 @@
 //! Regenerates Table 2: transmit performance for a single guest with
 //! two NICs — Xen/Intel, Xen/RiceNIC, and CDNA/RiceNIC — including the
-//! six-way execution profile and interrupt rates.
+//! six-way execution profile and interrupt rates. Rows run concurrently
+//! on the worker pool (`--jobs N`).
 
 use cdna_bench::{compare_line, header, paper};
 use cdna_core::DmaPolicy;
-use cdna_system::{run_experiment, Direction, IoModel, NicKind, TestbedConfig};
+use cdna_system::{Direction, IoModel, NicKind, TestbedConfig};
 
 fn main() {
     header("Table 2 — single-guest transmit, 2 NICs");
@@ -19,9 +20,12 @@ fn main() {
             policy: DmaPolicy::Validated,
         },
     ];
-    for (io, row) in ios.iter().zip(paper::TABLE2_TX.iter()) {
-        let cfg = TestbedConfig::new(*io, 1, Direction::Transmit);
-        let r = run_experiment(cfg);
+    let configs: Vec<_> = ios
+        .iter()
+        .map(|io| TestbedConfig::new(*io, 1, Direction::Transmit))
+        .collect();
+    let reports = cdna_bench::run_parallel(configs);
+    for (r, row) in reports.iter().zip(paper::TABLE2_TX.iter()) {
         println!("--- {} ---", row.label);
         println!(
             "{}",

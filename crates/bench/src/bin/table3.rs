@@ -1,9 +1,10 @@
 //! Regenerates Table 3: receive performance for a single guest with two
-//! NICs — Xen/Intel, Xen/RiceNIC, and CDNA/RiceNIC.
+//! NICs — Xen/Intel, Xen/RiceNIC, and CDNA/RiceNIC. Rows run
+//! concurrently on the worker pool (`--jobs N`).
 
 use cdna_bench::{compare_line, header, paper};
 use cdna_core::DmaPolicy;
-use cdna_system::{run_experiment, Direction, IoModel, NicKind, TestbedConfig};
+use cdna_system::{Direction, IoModel, NicKind, TestbedConfig};
 
 fn main() {
     header("Table 3 — single-guest receive, 2 NICs");
@@ -18,9 +19,12 @@ fn main() {
             policy: DmaPolicy::Validated,
         },
     ];
-    for (io, row) in ios.iter().zip(paper::TABLE3_RX.iter()) {
-        let cfg = TestbedConfig::new(*io, 1, Direction::Receive);
-        let r = run_experiment(cfg);
+    let configs: Vec<_> = ios
+        .iter()
+        .map(|io| TestbedConfig::new(*io, 1, Direction::Receive))
+        .collect();
+    let reports = cdna_bench::run_parallel(configs);
+    for (r, row) in reports.iter().zip(paper::TABLE3_RX.iter()) {
         println!("--- {} ---", row.label);
         println!(
             "{}",

@@ -1,9 +1,10 @@
 //! Regenerates Table 4: CDNA transmit and receive with and without DMA
-//! memory protection (the IOMMU upper-bound ablation).
+//! memory protection (the IOMMU upper-bound ablation). Rows run
+//! concurrently on the worker pool (`--jobs N`).
 
 use cdna_bench::{compare_line, header, paper};
 use cdna_core::DmaPolicy;
-use cdna_system::{run_experiment, Direction, IoModel, TestbedConfig};
+use cdna_system::{Direction, IoModel, TestbedConfig};
 
 fn main() {
     header("Table 4 — CDNA with vs without DMA memory protection");
@@ -21,10 +22,13 @@ fn main() {
             &paper::TABLE4[3],
         ),
     ];
+    let configs: Vec<_> = cases
+        .iter()
+        .map(|&(dir, policy, _)| TestbedConfig::new(IoModel::Cdna { policy }, 1, dir))
+        .collect();
+    let reports = cdna_bench::run_parallel(configs);
     let mut idle = Vec::new();
-    for (dir, policy, row) in cases {
-        let cfg = TestbedConfig::new(IoModel::Cdna { policy }, 1, dir);
-        let r = run_experiment(cfg);
+    for (r, (_, _, row)) in reports.iter().zip(cases) {
         println!("--- {} ---", row.label);
         println!(
             "{}",

@@ -7,25 +7,113 @@
 //! runs the corresponding experiment and prints the paper's value next
 //! to the simulated one. `EXPERIMENTS.md` in the repository root records
 //! the outcomes.
+//!
+//! # Parallel fan-out
+//!
+//! Every bench binary fans its configuration matrix out over the
+//! [`cdna_sim::par`] worker pool. Each simulation is single-threaded,
+//! seeded, and self-contained, so parallelism changes wall-clock time
+//! and nothing else — `tests/parallel.rs` proves `jobs=1` and `jobs=N`
+//! produce byte-identical reports. The worker count comes from a
+//! `--jobs N` argv flag (every fan-out binary accepts it), then the
+//! `CDNA_JOBS` environment variable, then `min(cores, entries)`.
 
 pub mod paper;
 
-use cdna_system::{run_experiment, RunReport, TestbedConfig};
+use cdna_core::DmaPolicy;
+use cdna_sim::par;
+use cdna_sim::QueueKind;
+use cdna_system::{run_experiment, Direction, IoModel, NicKind, RunReport, TestbedConfig};
 
-/// Runs several configurations on worker threads (each simulation is
-/// single-threaded and deterministic; the sweep parallelism only affects
-/// wall-clock time, never results). Reports come back in input order.
+/// Extracts `--jobs N` / `--jobs=N` from this process's argv, ignoring
+/// every other argument (the table/figure binaries otherwise take no
+/// flags; binaries with their own parsers, like `perf`, pass the value
+/// down explicitly instead).
+pub fn jobs_flag_from_argv() -> Option<usize> {
+    let mut requested = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            requested = args.next().and_then(|v| v.parse().ok());
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            requested = v.parse().ok();
+        }
+    }
+    requested
+}
+
+/// Worker count for a fan-out of `tasks` items: `--jobs` argv flag,
+/// else `CDNA_JOBS`, else `min(cores, tasks)` (see
+/// [`cdna_sim::par::resolve_jobs`]).
+pub fn jobs_for(tasks: usize) -> usize {
+    par::resolve_jobs(jobs_flag_from_argv(), tasks)
+}
+
+/// Runs several configurations across the worker pool (each simulation
+/// is single-threaded and deterministic; the sweep parallelism only
+/// affects wall-clock time, never results). Reports come back in input
+/// order. The worker count follows [`jobs_for`].
 pub fn run_parallel(configs: Vec<TestbedConfig>) -> Vec<RunReport> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = configs
-            .into_iter()
-            .map(|cfg| scope.spawn(move || run_experiment(cfg)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("experiment thread panicked")) // cdna-check: allow(panic): worker panic is propagated as fatal
-            .collect()
-    })
+    let jobs = jobs_for(configs.len());
+    run_parallel_jobs(configs, jobs)
+}
+
+/// [`run_parallel`] with an explicit worker count (clamped to
+/// `1..=configs.len()`; `jobs=1` runs inline on the caller's thread).
+pub fn run_parallel_jobs(configs: Vec<TestbedConfig>, jobs: usize) -> Vec<RunReport> {
+    par::run_indexed(jobs, configs, |_, cfg| run_experiment(cfg))
+}
+
+/// One entry of the `cdna-perf` wall-clock suite.
+#[derive(Debug, Clone)]
+pub struct PerfEntry {
+    /// Stable identifier, e.g. `cdna-tx-24g`.
+    pub id: String,
+    /// IO model short name (`cdna` / `softvirt`).
+    pub io_name: &'static str,
+    /// Traffic direction.
+    pub direction: Direction,
+    /// Guest domain count.
+    pub guests: u16,
+    /// The fully-formed testbed configuration for this entry.
+    pub cfg: TestbedConfig,
+}
+
+/// The `cdna-perf` suite: {CDNA, Xen-softvirt} × {TX, RX} × {1, 8, 24}
+/// guests at the default seed, all on `queue`. `quick` shrinks the
+/// simulated window for CI smoke runs. Shared between the `perf` binary
+/// and the `tests/parallel.rs` differential test so both always measure
+/// the same matrix.
+pub fn perf_suite(quick: bool, queue: QueueKind) -> Vec<PerfEntry> {
+    let cdna = IoModel::Cdna {
+        policy: DmaPolicy::Validated,
+    };
+    let soft = IoModel::XenBridged {
+        nic: NicKind::Intel,
+    };
+    let mut entries = Vec::new();
+    for (io_name, io, direction, dir_name) in [
+        ("cdna", cdna, Direction::Transmit, "tx"),
+        ("cdna", cdna, Direction::Receive, "rx"),
+        ("softvirt", soft, Direction::Transmit, "tx"),
+        ("softvirt", soft, Direction::Receive, "rx"),
+    ] {
+        for guests in [1u16, 8, 24] {
+            let mut cfg = TestbedConfig::new(io, guests, direction);
+            if quick {
+                cfg = cfg.quick();
+            }
+            cfg.queue = queue;
+            entries.push(PerfEntry {
+                id: format!("{io_name}-{dir_name}-{guests}g"),
+                io_name,
+                direction,
+                guests,
+                cfg,
+            });
+        }
+    }
+    entries
 }
 
 /// Runs one configuration and prints its table row.
@@ -58,5 +146,17 @@ mod tests {
         assert!(s.contains("1602.0"));
         assert!(s.contains("1576.0"));
         assert!(s.contains("0.98"));
+    }
+
+    #[test]
+    fn perf_suite_is_the_twelve_entry_matrix() {
+        let suite = perf_suite(true, QueueKind::default());
+        assert_eq!(suite.len(), 12);
+        let ids: Vec<&str> = suite.iter().map(|e| e.id.as_str()).collect();
+        assert!(ids.contains(&"cdna-tx-1g"));
+        assert!(ids.contains(&"softvirt-rx-24g"));
+        // Stable order: the differential tests index into this.
+        assert_eq!(ids[0], "cdna-tx-1g");
+        assert_eq!(ids[11], "softvirt-rx-24g");
     }
 }

@@ -45,6 +45,7 @@ pub mod explore;
 pub mod queue;
 
 pub use explore::{
-    check_invariants, default_matrix, explore, Exploration, ExploreConfig, MatrixReport,
+    check_invariants, default_matrix, explore, explore_parallel, Exploration, ExploreConfig,
+    MatrixReport,
 };
 pub use queue::{dependent, Controller, Decision, PermutationQueue};

@@ -6,8 +6,14 @@
 //!
 //! ```text
 //! cdna-model [--out report.json] [--window-us N] [--per-config N]
-//!            [--max-depth N] [--mutation NAME [--expect-caught]]
+//!            [--max-depth N] [--jobs N]
+//!            [--mutation NAME [--expect-caught]]
 //! ```
+//!
+//! `--jobs N` (or the `CDNA_JOBS` environment variable; default
+//! `min(cores, 8)`) fans each configuration's decision tree out over
+//! the `cdna-sim` worker pool; on exhausted trees the report is
+//! byte-identical to a sequential run.
 //!
 //! Exit status: 0 on a clean exploration (or, with `--expect-caught`,
 //! when the seeded mutation WAS caught); 1 when an invariant is
@@ -17,7 +23,8 @@
 use std::process::ExitCode;
 
 use cdna_mem::mutation::{self, MutationKind};
-use cdna_model::{default_matrix, explore, MatrixReport};
+use cdna_model::{default_matrix, explore_parallel, MatrixReport};
+use cdna_sim::par;
 use cdna_trace::json::JsonWriter;
 
 /// Parsed command-line options.
@@ -27,6 +34,7 @@ struct Options {
     per_config: u64,
     max_depth: usize,
     tie_window_ns: u64,
+    jobs: Option<usize>,
     mutation: Option<MutationKind>,
     expect_caught: bool,
 }
@@ -39,6 +47,7 @@ impl Options {
             per_config: 1600,
             max_depth: 64,
             tie_window_ns: 2000,
+            jobs: None,
             mutation: None,
             expect_caught: false,
         }
@@ -48,7 +57,7 @@ impl Options {
 fn usage() -> ! {
     eprintln!(
         "usage: cdna-model [--out PATH] [--window-us N] [--per-config N] \
-         [--max-depth N] [--tie-window-ns N] [--mutation NAME] [--expect-caught]"
+         [--max-depth N] [--tie-window-ns N] [--jobs N] [--mutation NAME] [--expect-caught]"
     );
     eprintln!("mutations: {}", names().join(", "));
     std::process::exit(2);
@@ -82,6 +91,7 @@ fn parse_args() -> Options {
             "--tie-window-ns" => {
                 opts.tie_window_ns = value("--tie-window-ns").parse().unwrap_or_else(|_| usage())
             }
+            "--jobs" => opts.jobs = Some(value("--jobs").parse().unwrap_or_else(|_| usage())),
             "--mutation" => {
                 let name = value("--mutation");
                 match MutationKind::parse(&name) {
@@ -109,7 +119,7 @@ fn parse_args() -> Options {
 
 /// Serializes the matrix report. Schema is versioned so CI consumers
 /// can assert compatibility.
-fn render(report: &MatrixReport, opts: &Options) -> String {
+fn render(report: &MatrixReport, opts: &Options, jobs: usize) -> String {
     let mut w = JsonWriter::with_capacity(4096);
     w.begin_object();
     w.key("schema_version");
@@ -131,6 +141,8 @@ fn render(report: &MatrixReport, opts: &Options) -> String {
     w.number_u64(opts.max_depth as u64);
     w.key("tie_window_ns");
     w.number_u64(opts.tie_window_ns);
+    w.key("jobs");
+    w.number_u64(jobs as u64);
     w.end_object();
     w.key("matrix");
     w.begin_array();
@@ -177,16 +189,20 @@ fn render(report: &MatrixReport, opts: &Options) -> String {
 fn main() -> ExitCode {
     let opts = parse_args();
     mutation::set_active(opts.mutation);
+    // Shards are split dynamically per decision tree, so the worker
+    // count is not bounded by an item count; cap the default at 8.
+    let jobs = par::resolve_jobs(opts.jobs, 8);
+    eprintln!("exploring with {jobs} worker(s) per configuration");
 
-    let jobs = default_matrix(
+    let matrix = default_matrix(
         opts.window_us,
         opts.per_config,
         opts.max_depth,
         opts.tie_window_ns,
     );
     let mut report = MatrixReport::default();
-    for job in &jobs {
-        let run = explore(job);
+    for job in &matrix {
+        let run = explore_parallel(job, jobs);
         eprintln!(
             "{:24} {:>7} schedules  {:>9} events  depth<={:<3} {} violations{}{}",
             run.label,
@@ -210,7 +226,7 @@ fn main() -> ExitCode {
     }
     mutation::set_active(None);
 
-    let json = render(&report, &opts);
+    let json = render(&report, &opts, jobs);
     if let Some(path) = &opts.out {
         if let Err(e) = std::fs::write(path, &json) {
             eprintln!("cannot write {path}: {e}");

@@ -33,6 +33,7 @@
 //! ```
 
 mod engine;
+pub mod par;
 pub mod queue;
 mod rng;
 mod stats;

@@ -32,7 +32,7 @@
 
 use std::time::Instant;
 
-use cdna_bench::{perf_suite, PerfEntry};
+use cdna_bench::{perf_suite, take_jobs_flag, PerfEntry};
 use cdna_sim::{par, QueueKind};
 use cdna_system::{run_experiment, Direction};
 use cdna_trace::json::JsonWriter;
@@ -207,11 +207,12 @@ fn write_json(
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // One shared scanner owns the `--jobs` syntax across all binaries.
+    let jobs_flag = take_jobs_flag(&mut args);
     let mut quick = false;
     let mut reps = DEFAULT_REPS;
     let mut queue = QueueKind::default();
-    let mut jobs_flag: Option<usize> = None;
     let mut out: Option<String> = None;
     let mut stdout = false;
     let mut i = 0;
@@ -226,14 +227,6 @@ fn main() {
                     .get(i + 1)
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
-                i += 2;
-            }
-            "--jobs" => {
-                jobs_flag = Some(
-                    args.get(i + 1)
-                        .and_then(|v| v.parse().ok())
-                        .unwrap_or_else(|| usage()),
-                );
                 i += 2;
             }
             "--queue" => {

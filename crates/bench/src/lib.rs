@@ -25,21 +25,45 @@ use cdna_sim::par;
 use cdna_sim::QueueKind;
 use cdna_system::{run_experiment, Direction, IoModel, NicKind, RunReport, TestbedConfig};
 
-/// Extracts `--jobs N` / `--jobs=N` from this process's argv, ignoring
-/// every other argument (the table/figure binaries otherwise take no
-/// flags; binaries with their own parsers, like `perf`, pass the value
-/// down explicitly instead).
-pub fn jobs_flag_from_argv() -> Option<usize> {
+/// Extracts the last `--jobs N` / `--jobs=N` occurrence from `args`,
+/// ignoring every other argument. This is the one place the flag's
+/// syntax lives; every fan-out binary resolves it here.
+pub fn jobs_flag_in(args: &[String]) -> Option<usize> {
     let mut requested = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         if a == "--jobs" {
-            requested = args.next().and_then(|v| v.parse().ok());
+            requested = it.next().and_then(|v| v.parse().ok());
         } else if let Some(v) = a.strip_prefix("--jobs=") {
             requested = v.parse().ok();
         }
     }
     requested
+}
+
+/// Like [`jobs_flag_in`], but removes every `--jobs` occurrence (and
+/// its value) from `args`, so binaries with their own argument parsers
+/// (`perf`, `rack`) can strip the flag before handling the rest.
+pub fn take_jobs_flag(args: &mut Vec<String>) -> Option<usize> {
+    let requested = jobs_flag_in(args);
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--jobs" {
+            args.drain(i..(i + 2).min(args.len()));
+        } else if args[i].starts_with("--jobs=") {
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    requested
+}
+
+/// [`jobs_flag_in`] applied to this process's argv (the table/figure
+/// binaries otherwise take no flags).
+pub fn jobs_flag_from_argv() -> Option<usize> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    jobs_flag_in(&args)
 }
 
 /// Worker count for a fan-out of `tasks` items: `--jobs` argv flag,
@@ -139,6 +163,31 @@ pub fn header(title: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn jobs_flag_variants_parse() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(jobs_flag_in(&args(&["--jobs", "4"])), Some(4));
+        assert_eq!(jobs_flag_in(&args(&["--jobs=7"])), Some(7));
+        assert_eq!(
+            jobs_flag_in(&args(&["--quick", "--jobs", "2", "x"])),
+            Some(2)
+        );
+        assert_eq!(jobs_flag_in(&args(&["--jobs", "2", "--jobs=3"])), Some(3));
+        assert_eq!(jobs_flag_in(&args(&["--quick"])), None);
+        assert_eq!(jobs_flag_in(&args(&["--jobs", "zero"])), None);
+    }
+
+    #[test]
+    fn take_jobs_flag_strips_all_occurrences() {
+        let mut args: Vec<String> = ["--quick", "--jobs", "2", "--out", "x", "--jobs=3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(take_jobs_flag(&mut args), Some(3));
+        assert_eq!(args, ["--quick", "--out", "x"]);
+        assert_eq!(take_jobs_flag(&mut args), None);
+    }
 
     #[test]
     fn compare_line_formats() {

@@ -8,16 +8,15 @@
 //! decomposition argument). On an exhausted tree the two produce
 //! identical [`Exploration`]s — proven by `tests/parallel.rs`.
 
-use std::cell::RefCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use cdna_core::{DmaPolicy, FaultKind};
 use cdna_sim::{par, SimTime, Simulation};
 use cdna_system::{Direction, Event, IoModel, NicKind, SystemWorld, TestbedConfig};
 
-use crate::queue::{Controller, Decision, PermutationQueue};
+use crate::queue::{lock, Controller, Decision, PermutationQueue};
 
 /// One exploration job: a testbed configuration plus bounds.
 #[derive(Debug, Clone)]
@@ -129,9 +128,9 @@ pub fn check_invariants(world: &SystemWorld) -> Vec<String> {
 fn run_schedule(
     job: &ExploreConfig,
     prefix: Vec<usize>,
-) -> (Rc<RefCell<Controller>>, Vec<String>, u64) {
-    let ctrl = Rc::new(RefCell::new(Controller::new(prefix, job.max_depth)));
-    let queue = PermutationQueue::with_window(Rc::clone(&ctrl), job.tie_window);
+) -> (Arc<Mutex<Controller>>, Vec<String>, u64) {
+    let ctrl = Arc::new(Mutex::new(Controller::new(prefix, job.max_depth)));
+    let queue = PermutationQueue::with_window(Arc::clone(&ctrl), job.tie_window);
     let end = job.cfg.warmup + job.cfg.measure;
     let cfg = job.cfg.clone();
     let outcome = catch_unwind(AssertUnwindSafe(move || {
@@ -183,7 +182,7 @@ pub fn explore(job: &ExploreConfig) -> Exploration {
                 result.sample.push(format!("{}: {v}", result.label));
             }
         }
-        let ctrl = ctrl.borrow();
+        let ctrl = lock(&ctrl);
         result.max_decisions = result.max_decisions.max(ctrl.record.len());
         result.depth_truncated |= ctrl.depth_truncated;
         if result.schedules >= job.max_schedules {
@@ -267,10 +266,10 @@ fn subshards(record: &[Decision], fixed_len: usize) -> Vec<Shard> {
 }
 
 /// Runs one schedule and packages its contribution.
-fn run_stats(job: &ExploreConfig, prefix: Vec<usize>) -> (RunStats, Rc<RefCell<Controller>>) {
+fn run_stats(job: &ExploreConfig, prefix: Vec<usize>) -> (RunStats, Arc<Mutex<Controller>>) {
     let (ctrl, violations, events) = run_schedule(job, prefix);
     let stats = {
-        let c = ctrl.borrow();
+        let c = lock(&ctrl);
         RunStats {
             violations,
             events,
@@ -293,7 +292,7 @@ fn run_shard_dfs(job: &ExploreConfig, shard: Shard, budget: &AtomicU64) -> Vec<R
         }
         let (stats, ctrl) = run_stats(job, prefix);
         out.push(stats);
-        let next = ctrl.borrow().next_prefix_from(shard.fixed_len);
+        let next = lock(&ctrl).next_prefix_from(shard.fixed_len);
         match next {
             Some(p) => prefix = p,
             None => break,
@@ -360,7 +359,7 @@ pub fn explore_parallel(job: &ExploreConfig, jobs: usize) -> Exploration {
                     return (pos, Vec::new(), Vec::new());
                 }
                 let (stats, ctrl) = run_stats(job, shard.prefix.clone());
-                let subs = subshards(&ctrl.borrow().record, shard.fixed_len);
+                let subs = subshards(&lock(&ctrl).record, shard.fixed_len);
                 (pos, vec![stats], subs)
             } else {
                 (pos, run_shard_dfs(job, shard, &budget), Vec::new())

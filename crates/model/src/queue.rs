@@ -7,11 +7,18 @@
 //! otherwise deterministic); diverging at the deepest unexplored branch
 //! enumerates all schedules depth-first.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use cdna_sim::{EventQueue, SimTime};
 use cdna_system::Event;
+
+/// Locks the shared controller, treating poisoning as benign: a
+/// poisoned mutex means a schedule panicked, and `run_schedule` already
+/// converts that panic into a violation — the controller's record is
+/// still the best available account of the aborted run.
+pub(crate) fn lock(m: &Mutex<Controller>) -> MutexGuard<'_, Controller> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// The NIC an event is scoped to, or `None` for global events
 /// (CPU dispatch and the measurement-window markers).
@@ -144,20 +151,20 @@ impl Controller {
 #[derive(Debug)]
 pub struct PermutationQueue {
     pending: Vec<(SimTime, u64, Event)>,
-    ctrl: Rc<RefCell<Controller>>,
+    ctrl: Arc<Mutex<Controller>>,
     tie_window: SimTime,
     last_delivered: SimTime,
 }
 
 impl PermutationQueue {
     /// An empty queue driven by `ctrl`, forking only exact ties.
-    pub fn new(ctrl: Rc<RefCell<Controller>>) -> Self {
+    pub fn new(ctrl: Arc<Mutex<Controller>>) -> Self {
         PermutationQueue::with_window(ctrl, SimTime::ZERO)
     }
 
     /// An empty queue driven by `ctrl` that treats events within
     /// `tie_window` of the earliest pending event as tied.
-    pub fn with_window(ctrl: Rc<RefCell<Controller>>, tie_window: SimTime) -> Self {
+    pub fn with_window(ctrl: Arc<Mutex<Controller>>, tie_window: SimTime) -> Self {
         PermutationQueue {
             pending: Vec::new(),
             ctrl,
@@ -189,7 +196,7 @@ impl PermutationQueue {
         if candidates.len() == 1 {
             return Some(0);
         }
-        Some(self.ctrl.borrow_mut().choose(candidates))
+        Some(lock(&self.ctrl).choose(candidates))
     }
 }
 
@@ -225,8 +232,8 @@ impl EventQueue<Event> for PermutationQueue {
 mod tests {
     use super::*;
 
-    fn ctrl(prefix: Vec<usize>) -> Rc<RefCell<Controller>> {
-        Rc::new(RefCell::new(Controller::new(prefix, 64)))
+    fn ctrl(prefix: Vec<usize>) -> Arc<Mutex<Controller>> {
+        Arc::new(Mutex::new(Controller::new(prefix, 64)))
     }
 
     fn nic_event(nic: usize) -> Event {
@@ -236,13 +243,13 @@ mod tests {
     #[test]
     fn singleton_pops_need_no_decision() {
         let c = ctrl(vec![]);
-        let mut q = PermutationQueue::new(Rc::clone(&c));
+        let mut q = PermutationQueue::new(Arc::clone(&c));
         q.push(SimTime::from_ns(10), 0, nic_event(0));
         q.push(SimTime::from_ns(20), 1, nic_event(0));
         assert!(q.pop().is_some());
         assert!(q.pop().is_some());
         assert!(q.pop().is_none());
-        assert!(c.borrow().record.is_empty());
+        assert!(lock(&c).record.is_empty());
     }
 
     #[test]
@@ -250,33 +257,33 @@ mod tests {
         // Two same-NIC events tied at t=5: dependent, so both orders
         // are schedules.
         let c = ctrl(vec![]);
-        let mut q = PermutationQueue::new(Rc::clone(&c));
+        let mut q = PermutationQueue::new(Arc::clone(&c));
         q.push(SimTime::from_ns(5), 0, nic_event(0));
         q.push(SimTime::from_ns(5), 1, nic_event(0));
         let first = q.pop().map(|(_, seq, _)| seq);
         assert_eq!(first, Some(0), "default order is FIFO");
-        let next = c.borrow().next_prefix();
+        let next = lock(&c).next_prefix();
         assert_eq!(next, Some(vec![1]), "the swap is the next schedule");
 
         let c2 = ctrl(vec![1]);
-        let mut q2 = PermutationQueue::new(Rc::clone(&c2));
+        let mut q2 = PermutationQueue::new(Arc::clone(&c2));
         q2.push(SimTime::from_ns(5), 0, nic_event(0));
         q2.push(SimTime::from_ns(5), 1, nic_event(0));
         assert_eq!(q2.pop().map(|(_, s, _)| s), Some(1), "replayed swap");
         assert_eq!(q2.pop().map(|(_, s, _)| s), Some(0));
-        assert_eq!(c2.borrow().next_prefix(), None, "tree exhausted");
+        assert_eq!(lock(&c2).next_prefix(), None, "tree exhausted");
     }
 
     #[test]
     fn independent_ties_are_pruned() {
         // Different NICs: commutative, no fork.
         let c = ctrl(vec![]);
-        let mut q = PermutationQueue::new(Rc::clone(&c));
+        let mut q = PermutationQueue::new(Arc::clone(&c));
         q.push(SimTime::from_ns(5), 0, nic_event(0));
         q.push(SimTime::from_ns(5), 1, nic_event(1));
         assert_eq!(q.pop().map(|(_, s, _)| s), Some(0));
-        assert!(c.borrow().record.is_empty(), "no decision recorded");
-        assert_eq!(c.borrow().next_prefix(), None);
+        assert!(lock(&c).record.is_empty(), "no decision recorded");
+        assert_eq!(lock(&c).next_prefix(), None);
     }
 
     #[test]
@@ -289,13 +296,13 @@ mod tests {
 
     #[test]
     fn depth_bound_truncates_recording() {
-        let c = Rc::new(RefCell::new(Controller::new(vec![], 1)));
-        let mut q = PermutationQueue::new(Rc::clone(&c));
+        let c = Arc::new(Mutex::new(Controller::new(vec![], 1)));
+        let mut q = PermutationQueue::new(Arc::clone(&c));
         for seq in 0..4 {
             q.push(SimTime::from_ns(5), seq, nic_event(0));
         }
         while q.pop().is_some() {}
-        let ctrl = c.borrow();
+        let ctrl = lock(&c);
         assert_eq!(ctrl.record.len(), 1, "only the first decision recorded");
         assert!(ctrl.depth_truncated);
     }
@@ -304,13 +311,13 @@ mod tests {
     fn next_prefix_from_respects_the_shard_floor() {
         // Two dependent ties in sequence: decisions at depths 0 and 1.
         let c = ctrl(vec![]);
-        let mut q = PermutationQueue::new(Rc::clone(&c));
+        let mut q = PermutationQueue::new(Arc::clone(&c));
         q.push(SimTime::from_ns(5), 0, nic_event(0));
         q.push(SimTime::from_ns(5), 1, nic_event(0));
         q.push(SimTime::from_ns(9), 2, nic_event(0));
         q.push(SimTime::from_ns(9), 3, nic_event(0));
         while q.pop().is_some() {}
-        let ctrl = c.borrow();
+        let ctrl = lock(&c);
         assert_eq!(ctrl.record.len(), 2);
         // Unrestricted backtracking finds the deeper branch first…
         assert_eq!(ctrl.next_prefix(), Some(vec![0, 1]));
@@ -325,8 +332,8 @@ mod tests {
         let mut seen = Vec::new();
         let mut prefix = Vec::new();
         loop {
-            let c = Rc::new(RefCell::new(Controller::new(prefix.clone(), 64)));
-            let mut q = PermutationQueue::new(Rc::clone(&c));
+            let c = Arc::new(Mutex::new(Controller::new(prefix.clone(), 64)));
+            let mut q = PermutationQueue::new(Arc::clone(&c));
             for seq in 0..3 {
                 q.push(SimTime::from_ns(7), seq, nic_event(0));
             }
@@ -335,7 +342,7 @@ mod tests {
                 order.push(seq);
             }
             seen.push(order);
-            let next = c.borrow().next_prefix();
+            let next = lock(&c).next_prefix();
             match next {
                 Some(p) => prefix = p,
                 None => break,

@@ -23,6 +23,6 @@ mod pci;
 mod wire;
 
 pub use frame::{FlowId, Frame};
-pub use mac::MacAddr;
+pub use mac::{MacAddr, MacAllocator};
 pub use pci::{PciBus, PciTransfer};
 pub use wire::{GigabitWire, WireDirection};

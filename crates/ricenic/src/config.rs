@@ -42,6 +42,10 @@ pub struct RiceNicConfig {
     /// The descriptor layout the firmware advertises to the hypervisor
     /// (paper §3.4); its `size` drives descriptor-fetch DMA accounting.
     pub desc_format: DescriptorFormat,
+    /// The rack host this NIC lives on, namespacing its context MACs
+    /// (`cdna-rack`). Host 0 — the default — yields the historical
+    /// single-host addresses.
+    pub mac_host: u8,
 }
 
 impl Default for RiceNicConfig {
@@ -61,6 +65,7 @@ impl Default for RiceNicConfig {
             desc_fetch_batch: 8,
             vector_ring_slots: 64,
             desc_format: DescriptorFormat::ricenic(),
+            mac_host: 0,
         }
     }
 }

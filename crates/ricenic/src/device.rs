@@ -249,9 +249,10 @@ impl RiceNic {
         self.stats
     }
 
-    /// The MAC address the device uses for `ctx`.
+    /// The MAC address the device uses for `ctx`, namespaced by the
+    /// configured rack host (host 0 reproduces the single-host layout).
     pub fn mac_for(&self, ctx: ContextId) -> MacAddr {
-        MacAddr::for_context(self.index, ctx.0)
+        MacAddr::for_host_context(self.cfg.mac_host, self.index, ctx.0)
     }
 
     /// Privileged management: attaches `ctx` with the given rings.

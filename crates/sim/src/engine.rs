@@ -135,7 +135,7 @@ impl<W: World> Simulation<W> {
     /// (time must stay monotone), but it *may* reorder same-time ties —
     /// the `cdna-model` schedule explorer exploits exactly that freedom
     /// to enumerate tie-break interleavings of one logical run.
-    pub fn with_event_queue(world: W, queue: Box<dyn EventQueue<W::Event>>) -> Self {
+    pub fn with_event_queue(world: W, queue: Box<dyn EventQueue<W::Event> + Send>) -> Self {
         Simulation {
             world,
             sched: Scheduler::from_impl(QueueImpl::Custom(queue)),

@@ -182,6 +182,124 @@ where
     out
 }
 
+/// Runs `states` through repeated *rounds* of parallel stepping with a
+/// serial barrier between rounds — the conservative epoch-barrier
+/// pattern `cdna-rack` uses to advance N independent host simulations
+/// in lookahead windows.
+///
+/// Each iteration first calls `sync(round, &mut states)` on the
+/// caller's thread with every state at the same logical round — the
+/// place to exchange information *between* states (route frames, merge
+/// counters) and to decide whether to continue (`false` stops the loop
+/// and returns the states). It then runs `step(index, round, &mut
+/// state)` for every state across `jobs` persistent workers.
+///
+/// Determinism: `sync` always runs single-threaded over index-ordered
+/// states, and each `step` call sees only its own state, so the outcome
+/// is independent of `jobs` — `jobs=1` (which runs everything inline on
+/// the caller's thread) and `jobs=N` produce identical final states.
+///
+/// Unlike [`run_indexed`], the workers persist across rounds: a rack
+/// run has tens of thousands of epochs, and spawning threads per epoch
+/// would cost more than the epoch's work. A panic in `step` is caught,
+/// carried across the barrier, and re-raised on the caller's thread
+/// after the workers shut down cleanly.
+pub fn run_rounds<T, S, F>(jobs: usize, states: Vec<T>, mut sync: S, step: F) -> Vec<T>
+where
+    T: Send,
+    S: FnMut(u64, &mut Vec<T>) -> bool,
+    F: Fn(usize, u64, &mut T) + Sync,
+{
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Barrier;
+
+    let n = states.len();
+    let jobs = jobs.clamp(1, n.max(1));
+    let mut states = states;
+    if jobs == 1 {
+        let mut round = 0u64;
+        while sync(round, &mut states) {
+            for (i, t) in states.iter_mut().enumerate() {
+                step(i, round, t);
+            }
+            round += 1;
+        }
+        return states;
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let work: Mutex<VecDeque<usize>> = Mutex::new(VecDeque::with_capacity(n));
+    let round_no = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    // Two barriers per round: `start` releases the workers into the
+    // round's work queue, `finish` hands control back to the caller.
+    let start = Barrier::new(jobs + 1);
+    let finish = Barrier::new(jobs + 1);
+    let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+    let mut payload = None;
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                start.wait();
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let r = round_no.load(Ordering::Acquire);
+                loop {
+                    let next = lock(&work).pop_front();
+                    let Some(i) = next else { break };
+                    let mut slot = lock(&slots[i]);
+                    if let Some(t) = slot.as_mut() {
+                        // Catch instead of unwinding through the barrier
+                        // protocol: an unwinding worker would leave the
+                        // caller waiting on `finish` forever.
+                        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            step(i, r, t)
+                        }));
+                        if let Err(p) = caught {
+                            *lock(&panicked) = Some(p);
+                        }
+                    }
+                }
+                finish.wait();
+            });
+        }
+
+        let mut round = 0u64;
+        loop {
+            if lock(&panicked).is_some() || !sync(round, &mut states) {
+                stop.store(true, Ordering::Release);
+                start.wait();
+                break;
+            }
+            for (i, t) in states.drain(..).enumerate() {
+                *lock(&slots[i]) = Some(t);
+            }
+            {
+                let mut q = lock(&work);
+                q.clear();
+                q.extend(0..n);
+            }
+            round_no.store(round, Ordering::Release);
+            start.wait();
+            finish.wait();
+            for slot in &slots {
+                if let Some(t) = lock(slot).take() {
+                    states.push(t);
+                }
+            }
+            assert_eq!(states.len(), n, "round-barrier fan-out lost states");
+            round += 1;
+        }
+        payload = lock(&panicked).take();
+    });
+    if let Some(p) = payload {
+        std::panic::resume_unwind(p);
+    }
+    states
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,5 +379,83 @@ mod tests {
             }
             x
         });
+    }
+
+    /// Reference epoch loop: each round, every state absorbs its left
+    /// neighbour's value from the previous round (cross-state exchange
+    /// in `sync`), then advances independently in `step`.
+    fn rounds_reference(jobs: usize) -> Vec<u64> {
+        run_rounds(
+            jobs,
+            (0..9u64).collect(),
+            |round, states| {
+                if round >= 5 {
+                    return false;
+                }
+                let prev: Vec<u64> = states.clone();
+                for (i, s) in states.iter_mut().enumerate() {
+                    *s = s.wrapping_add(prev[(i + 8) % 9]);
+                }
+                true
+            },
+            |i, round, s| {
+                *s = s.wrapping_mul(31).wrapping_add(i as u64 ^ round);
+            },
+        )
+    }
+
+    #[test]
+    fn rounds_jobs_one_and_many_agree() {
+        let a = rounds_reference(1);
+        let b = rounds_reference(4);
+        let c = rounds_reference(9);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn rounds_stop_before_first_round_returns_states_untouched() {
+        let out = run_rounds(
+            4,
+            vec![7u32, 8, 9],
+            |_, _| false,
+            |_, _, s| {
+                *s = 0;
+            },
+        );
+        assert_eq!(out, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn rounds_sync_sees_every_round_in_order() {
+        let mut seen = Vec::new();
+        let out = run_rounds(
+            3,
+            vec![0u64; 5],
+            |round, _| {
+                seen.push(round);
+                round < 3
+            },
+            |_, _, s| {
+                *s += 1;
+            },
+        );
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        assert_eq!(out, vec![3; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "round step failed")]
+    fn rounds_step_panic_propagates() {
+        let _ = run_rounds(
+            4,
+            (0..8u32).collect(),
+            |round, _| round < 10,
+            |i, round, _| {
+                if i == 5 && round == 2 {
+                    panic!("round step failed");
+                }
+            },
+        );
     }
 }

@@ -376,10 +376,15 @@ impl QueueKind {
 /// (the `cdna-model` schedule explorer swaps in a permutation queue that
 /// deliberately reorders same-time ties); it pays the `dyn` cost, but
 /// only runs under the model checker, never on the perf path.
+///
+/// The custom box is `Send` so that a `Simulation` over a `Send` world
+/// is itself `Send` regardless of queue kind — `cdna-rack` migrates
+/// whole per-host simulations across the [`crate::par`] worker pool at
+/// every epoch barrier.
 pub(crate) enum QueueImpl<E> {
     Heap(HeapQueue<E>),
     Wheel(TimerWheel<E>),
-    Custom(Box<dyn EventQueue<E>>),
+    Custom(Box<dyn EventQueue<E> + Send>),
 }
 
 impl<E: std::fmt::Debug> std::fmt::Debug for QueueImpl<E> {

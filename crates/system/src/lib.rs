@@ -38,6 +38,10 @@ pub use cdna_sim::QueueKind;
 pub use config::{Direction, IoModel, NicKind, TestbedConfig};
 pub use costs::CostModel;
 pub use report::{Comparison, RunReport};
-pub use testbed::{run_experiment, run_instrumented, Instrumentation, RunArtifacts};
+pub use testbed::{
+    report_from_world, run_experiment, run_instrumented, Instrumentation, RunArtifacts,
+};
 pub use workload::{GuestWorkload, PeerSource, TxUnit};
-pub use world::{DomainState, Event, HostRx, Meters, NicSlot, PhysDriver, Role, SystemWorld};
+pub use world::{
+    DomainState, EgressFrame, Event, HostRx, Meters, NicSlot, PhysDriver, Role, SystemWorld,
+};

@@ -58,11 +58,8 @@ pub fn run_experiment(cfg: TestbedConfig) -> RunReport {
 /// Like [`run_experiment`], but optionally records an event trace
 /// and/or the full counter registry alongside the report.
 pub fn run_instrumented(cfg: TestbedConfig, instr: Instrumentation) -> RunArtifacts {
-    let label = cfg.io_model.label().to_string();
     let guests = cfg.guests;
     let end = cfg.warmup + cfg.measure;
-    let direction = cfg.direction;
-
     let queue = cfg.queue;
     let mut sim = Simulation::with_queue(SystemWorld::build(cfg), queue);
     if let Some(capacity) = instr.trace_capacity {
@@ -96,6 +93,20 @@ pub fn run_instrumented(cfg: TestbedConfig, instr: Instrumentation) -> RunArtifa
         }
         t.to_chrome_json()
     });
+    let report = report_from_world(&mut world, events, instr.collect_metrics);
+    RunArtifacts {
+        report,
+        chrome_trace,
+    }
+}
+
+/// Assembles a [`RunReport`] from a finished world — the measurement
+/// window must already have closed ([`crate::Event::StopMeasure`]
+/// processed). Shared by [`run_instrumented`] and the `cdna-rack`
+/// per-host reports, so a rack host's report is field-for-field the
+/// same computation as a standalone run's.
+pub fn report_from_world(world: &mut SystemWorld, events: u64, collect_metrics: bool) -> RunReport {
+    let direction = world.cfg.direction;
     let window_s = world.cfg.measure.as_secs_f64();
 
     // Inter-VM runs measure delivery at the receiving guests' stacks;
@@ -128,16 +139,16 @@ pub fn run_instrumented(cfg: TestbedConfig, instr: Instrumentation) -> RunArtifa
         })
         .collect();
 
-    let metrics = if instr.collect_metrics {
+    let metrics = if collect_metrics {
         world.collect_metrics();
         Some(world.registry.clone())
     } else {
         None
     };
 
-    let report = RunReport {
-        label,
-        guests,
+    RunReport {
+        label: world.cfg.io_model.label().to_string(),
+        guests: world.cfg.guests,
         throughput_mbps: payload_bytes_per_s * 8.0 / 1e6,
         profile: world.ledger.profile(),
         nic_interrupts_per_s: world.meters.nic_irq.per_second(),
@@ -152,9 +163,5 @@ pub fn run_instrumented(cfg: TestbedConfig, instr: Instrumentation) -> RunArtifa
         per_guest_mbps,
         events_processed: events,
         metrics,
-    };
-    RunArtifacts {
-        report,
-        chrome_trace,
     }
 }

@@ -257,6 +257,18 @@ pub struct Meters {
     in_window: bool,
 }
 
+/// A frame that left a rack host through its uplink: captured at wire
+/// transmit completion, forwarded by the top-of-rack switch.
+#[derive(Debug, Clone)]
+pub struct EgressFrame {
+    /// When the frame finished serializing onto the host's wire.
+    pub at: SimTime,
+    /// The NIC (and thus switch port) it departed through.
+    pub nic: usize,
+    /// The frame itself; `dst` selects the switch's output port.
+    pub frame: Frame,
+}
+
 /// The complete simulated machine.
 #[derive(Debug)]
 pub struct SystemWorld {
@@ -296,6 +308,16 @@ pub struct SystemWorld {
     pub peers: Vec<Option<crate::PeerSource>>,
     /// flow → destination MAC for peer-generated traffic.
     flow_dst: std::collections::BTreeMap<FlowId, MacAddr>,
+    /// MACs that terminate on this host; `Some` marks the world as one
+    /// host of a rack whose non-local frames leave through the uplink
+    /// (see [`SystemWorld::enable_uplink`]).
+    local_macs: Option<std::collections::BTreeSet<MacAddr>>,
+    /// Per-guest, per-NIC destination override for cross-host flows
+    /// (set by the rack; empty for standalone runs).
+    remote_dst: Vec<Vec<MacAddr>>,
+    /// Frames captured at the uplink this epoch, awaiting the rack's
+    /// top-of-rack switch.
+    egress: Vec<EgressFrame>,
     /// Per-NIC MACs whose frames the external switch hairpins back to
     /// this host (CDNA inter-VM traffic; empty otherwise).
     hairpin_macs: Vec<std::collections::BTreeSet<MacAddr>>,
@@ -600,6 +622,9 @@ impl SystemWorld {
             meters: Meters::default(),
             peers: Vec::new(),
             flow_dst: std::collections::BTreeMap::new(),
+            local_macs: None,
+            remote_dst: Vec::new(),
+            egress: Vec::new(),
             hairpin_macs: (0..nic_total).map(|_| Default::default()).collect(),
             ctx_of,
             faults: Vec::new(),
@@ -766,9 +791,54 @@ impl SystemWorld {
         }
     }
 
+    /// Marks this world as one host of a multi-host rack: transmitted
+    /// frames whose destination MAC does not terminate on this host are
+    /// captured into the egress buffer (see
+    /// [`SystemWorld::drain_egress`]) for the rack's top-of-rack switch
+    /// instead of sinking at the local peer.
+    pub fn enable_uplink(&mut self) {
+        let mut local = std::collections::BTreeSet::new();
+        for nic in 0..self.cfg.nics as usize {
+            local.insert(MacAddr::for_peer(nic as u8));
+            if let NicSlot::Rice(dev) = &self.nics[nic] {
+                for per_guest in &self.ctx_of {
+                    local.insert(dev.mac_for(per_guest[nic]));
+                }
+            }
+        }
+        for g in 0..self.cfg.guests {
+            local.insert(MacAddr::for_vif(g));
+        }
+        self.local_macs = Some(local);
+    }
+
+    /// Overrides the destination MAC of every guest transmission:
+    /// `dst[g][nic]` addresses guest `g`'s flows on `nic`, typically at
+    /// a context on another rack host. Standalone runs never call this.
+    pub fn set_remote_dst(&mut self, dst: Vec<Vec<MacAddr>>) {
+        self.remote_dst = dst;
+    }
+
+    /// Takes the frames captured at the uplink since the last drain,
+    /// in wire-completion order.
+    pub fn drain_egress(&mut self) -> Vec<EgressFrame> {
+        std::mem::take(&mut self.egress)
+    }
+
+    /// The destination MAC a frame must carry to reach `guest` on
+    /// `nic`: its CDNA context address, or its vif address under Xen.
+    /// The rack reads this from the destination host to build the
+    /// cross-host [`SystemWorld::set_remote_dst`] table.
+    pub fn guest_rx_mac(&self, guest: u16, nic: usize) -> MacAddr {
+        self.rx_dst_mac(guest, nic)
+    }
+
     /// Destination MAC for guest `g`'s transmissions on `nic`: the
     /// external peer, or — in inter-VM mode — the next sibling guest.
     fn tx_dst_mac(&self, g: u16, nic: usize) -> MacAddr {
+        if let Some(mac) = self.remote_dst.get(g as usize).and_then(|v| v.get(nic)) {
+            return *mac;
+        }
         if !self.cfg.inter_guest {
             return MacAddr::for_peer(nic as u8);
         }
@@ -2279,6 +2349,17 @@ impl SystemWorld {
         if self.meters.in_window {
             self.meters.tx_payload.add(frame.tcp_payload as u64);
             self.meters.packets += 1;
+        }
+        // Rack uplink: a frame addressed off-host is handed to the
+        // top-of-rack switch; local NIC completion still runs below.
+        if let Some(local) = &self.local_macs {
+            if !local.contains(&frame.dst) {
+                self.egress.push(EgressFrame {
+                    at: now,
+                    nic,
+                    frame: frame.clone(),
+                });
+            }
         }
         // Inter-VM CDNA traffic: the external switch forwards the frame
         // straight back toward the destination guest's context.

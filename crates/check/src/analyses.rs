@@ -68,6 +68,7 @@ pub const LAYERS: &[(&str, u32)] = &[
     ("system", 6),
     ("bench", 7),
     ("model", 8),
+    ("rack", 8),
     ("repro", 9),
 ];
 
@@ -384,7 +385,14 @@ pub fn analyze(files: &[SourceFile], manifests: &[(String, String)]) -> Analysis
     }
 
     let graph = SymbolGraph::build(graph_files, manifest_deps);
-    let passes: [&dyn Pass; 3] = [&LayeringPass, &MustPairPass, &ExhaustiveFaultPass];
+    let passes: [&dyn Pass; 6] = [
+        &LayeringPass,
+        &MustPairPass,
+        &ExhaustiveFaultPass,
+        &crate::taint::GuestTaintPass,
+        &crate::locks::LockOrderPass,
+        &crate::locks::SendAuditPass,
+    ];
     raw.extend(crate::graph::run_passes(&graph, &passes));
 
     // Apply allows, crediting the entry that fired.

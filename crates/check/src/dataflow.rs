@@ -1,0 +1,303 @@
+//! Def-use and call-summary layer over the symbol graph.
+//!
+//! The v3 analyses ([`crate::taint`], [`crate::locks`]) need more than
+//! per-file symbols: they reason about *paths* through the workspace
+//! call graph. This module provides the shared substrate:
+//!
+//! * a filtered node set — library functions outside `#[cfg(test)]`
+//!   items, which is the code the dataflow rules apply to;
+//! * name-based call resolution restricted to that node set;
+//! * a generic monotone fixpoint driver for interprocedural summaries
+//!   (`vulnerable(f)` for taint, transitive lock-acquisition sets for
+//!   lock-order);
+//! * token-walk utilities (statement boundaries, enclosing blocks,
+//!   `let` bindings, call-argument regions, local constructor types)
+//!   used to approximate def-use facts without a real CFG.
+//!
+//! Everything stays name-resolved and token-linear — the same
+//! deliberate imprecision as the rest of cdna-check, which is exactly
+//! right for this workspace where protection primitives have unique
+//! names and bodies are written in a disciplined style.
+
+use crate::graph::{GraphFile, SymbolGraph};
+use crate::lexer::Token;
+use crate::parse::FnSym;
+use crate::rules::FileKind;
+use std::collections::BTreeMap;
+
+/// The dataflow view of the workspace: analyzed nodes plus resolution.
+pub struct Dataflow<'g> {
+    /// The underlying symbol graph.
+    pub graph: &'g SymbolGraph,
+    /// Analyzed nodes as `(file index, fn index)` into the graph:
+    /// library files only, `#[cfg(test)]` items excluded.
+    pub nodes: Vec<(usize, usize)>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl<'g> Dataflow<'g> {
+    /// Builds the node set and the name index.
+    pub fn build(graph: &'g SymbolGraph) -> Self {
+        let mut nodes = Vec::new();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (fi, file) in graph.files.iter().enumerate() {
+            if file.kind != FileKind::Library {
+                continue;
+            }
+            for (gi, f) in file.symbols.fns.iter().enumerate() {
+                if file.test_lines.contains(&f.line) {
+                    continue;
+                }
+                by_name.entry(f.name.clone()).or_default().push(nodes.len());
+                nodes.push((fi, gi));
+            }
+        }
+        Dataflow {
+            graph,
+            nodes,
+            by_name,
+        }
+    }
+
+    /// The file a node lives in.
+    pub fn file(&self, n: usize) -> &GraphFile {
+        &self.graph.files[self.nodes[n].0]
+    }
+
+    /// The function a node denotes.
+    pub fn func(&self, n: usize) -> &FnSym {
+        let (fi, gi) = self.nodes[n];
+        &self.graph.files[fi].symbols.fns[gi]
+    }
+
+    /// The crate key a node lives in (`""` if outside the workspace).
+    pub fn crate_key(&self, n: usize) -> &str {
+        self.file(n).symbols.crate_key.as_deref().unwrap_or("")
+    }
+
+    /// Analyzed nodes a call with this name resolves to.
+    pub fn targets(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether a designation `(name, home crates)` is armed: resolution
+    /// stays honest by only counting names actually defined where the
+    /// rule says the primitive lives.
+    pub fn armed(&self, name: &str, crates: &[&str]) -> bool {
+        self.graph.defines_fn_in(name, crates)
+    }
+
+    /// Monotone fixpoint over per-node summaries: starts from `init`,
+    /// re-runs `step` (which may read every node's current summary)
+    /// until nothing changes. `step` must be monotone for termination;
+    /// a generous iteration cap backstops it either way.
+    pub fn fixpoint<S, I, F>(&self, init: I, mut step: F) -> Vec<S>
+    where
+        S: PartialEq,
+        I: Fn(usize) -> S,
+        F: FnMut(&Dataflow<'g>, &[S], usize) -> S,
+    {
+        let mut state: Vec<S> = (0..self.nodes.len()).map(init).collect();
+        for _ in 0..self.nodes.len() + 1 {
+            let mut changed = false;
+            for n in 0..self.nodes.len() {
+                let next = step(self, &state, n);
+                if next != state[n] {
+                    state[n] = next;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        state
+    }
+}
+
+/// Index of the first token of the statement containing `pos`: the
+/// token right after the nearest preceding `;`, `{` or `}`.
+pub fn statement_start(body: &[Token], pos: usize) -> usize {
+    let mut i = pos;
+    while i > 0 {
+        match body[i - 1].text.as_str() {
+            ";" | "{" | "}" => return i,
+            _ => i -= 1,
+        }
+    }
+    0
+}
+
+/// Index just past the enclosing block of `pos`: the `}` that drops the
+/// brace depth below the level at `pos` (or `body.len()`).
+pub fn enclosing_block_end(body: &[Token], pos: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = pos;
+    while i < body.len() {
+        match body[i].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth < 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    body.len()
+}
+
+/// End of the temporary-lifetime region starting at `pos`: a temporary
+/// guard (no `let`) lives to the end of its statement — the next `;` or
+/// block brace at bracket depth 0.
+pub fn temporary_end(body: &[Token], pos: usize) -> usize {
+    let mut par = 0i32;
+    let mut i = pos;
+    while i < body.len() {
+        match body[i].text.as_str() {
+            "(" | "[" => par += 1,
+            ")" | "]" => {
+                par -= 1;
+                if par < 0 {
+                    return i; // statement ended inside an outer call
+                }
+            }
+            ";" | "{" | "}" if par == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    body.len()
+}
+
+/// If the statement starting at `stmt` is a `let` binding, its bound
+/// name (skipping `mut`).
+pub fn let_binding(body: &[Token], stmt: usize) -> Option<String> {
+    if body.get(stmt)?.text != "let" {
+        return None;
+    }
+    let mut i = stmt + 1;
+    if body.get(i)?.text == "mut" {
+        i += 1;
+    }
+    body.get(i).filter(|t| t.is_ident).map(|t| t.text.clone())
+}
+
+/// The token range strictly inside the parentheses of the call whose
+/// callee token is at `call_pos` (i.e. `call_pos + 1` is the `(`).
+pub fn arg_region(body: &[Token], call_pos: usize) -> (usize, usize) {
+    let open = call_pos + 1;
+    let mut par = 0i32;
+    let mut i = open;
+    while i < body.len() {
+        match body[i].text.as_str() {
+            "(" => par += 1,
+            ")" => {
+                par -= 1;
+                if par == 0 {
+                    return (open + 1, i);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (open + 1, body.len())
+}
+
+/// Local `let` constructor types: `let q = Type::ctor(..)`,
+/// `let q: Type = ..` and `let q = Type { .. }` all map `q → Type`.
+/// Only uppercase-initial type names count (path heads like `std` or
+/// locals never start a type in this codebase's style).
+pub fn local_types(body: &[Token]) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    for (i, t) in body.iter().enumerate() {
+        if !(t.is_ident && t.text == "let") {
+            continue;
+        }
+        let mut j = i + 1;
+        if body.get(j).map(|t| t.text.as_str()) == Some("mut") {
+            j += 1;
+        }
+        let Some(name) = body.get(j).filter(|t| t.is_ident) else {
+            continue;
+        };
+        let name = name.text.clone();
+        // Scan the rest of the statement for the first uppercase-headed
+        // type name: works for ascriptions and constructor calls alike.
+        let stop = body[j..]
+            .iter()
+            .position(|t| t.text == ";")
+            .map(|p| j + p)
+            .unwrap_or(body.len());
+        if let Some(c) = body[j + 1..stop]
+            .iter()
+            .find(|c| c.is_ident && c.text.starts_with(|ch: char| ch.is_ascii_uppercase()))
+        {
+            out.insert(name, c.text.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{scrub, tokenize};
+
+    fn toks(src: &str) -> Vec<Token> {
+        tokenize(&scrub(src).masked)
+    }
+
+    #[test]
+    fn statement_and_block_boundaries() {
+        let b = toks("a(); let x = b(); { c(); } d();");
+        // Find token index of `b`.
+        let bp = b.iter().position(|t| t.text == "b").unwrap();
+        assert_eq!(b[statement_start(&b, bp)].text, "let");
+        let cp = b.iter().position(|t| t.text == "c").unwrap();
+        assert_eq!(b[enclosing_block_end(&b, cp)].text, "}");
+        assert_eq!(enclosing_block_end(&b, bp), b.len());
+    }
+
+    #[test]
+    fn let_bindings_and_temporaries() {
+        let b = toks("let mut guard = lock(&m); use_it(); drop(guard);");
+        let lp = b.iter().position(|t| t.text == "lock").unwrap();
+        let st = statement_start(&b, lp);
+        assert_eq!(let_binding(&b, st).as_deref(), Some("guard"));
+        let b2 = toks("lock(&m).push(1); after();");
+        let lp2 = b2.iter().position(|t| t.text == "lock").unwrap();
+        assert_eq!(b2[temporary_end(&b2, lp2)].text, ";");
+        assert_eq!(let_binding(&b2, statement_start(&b2, lp2)), None);
+    }
+
+    #[test]
+    fn temporary_inside_outer_call_ends_at_outer_paren() {
+        let b = toks("f(lock(&m).get(), x); after();");
+        let lp = b.iter().position(|t| t.text == "lock").unwrap();
+        let end = temporary_end(&b, lp);
+        // Ends no later than the statement's `;`.
+        let semi = b.iter().position(|t| t.text == ";").unwrap();
+        assert!(end <= semi, "end={end} semi={semi}");
+    }
+
+    #[test]
+    fn arg_regions_and_local_types() {
+        let b = toks(
+            "let q = PermutationQueue::with_window(a, 3); sim.with_event_queue(w, Box::new(q));",
+        );
+        let types = local_types(&b);
+        assert_eq!(types.get("q").map(String::as_str), Some("PermutationQueue"));
+        let cp = b.iter().position(|t| t.text == "with_event_queue").unwrap();
+        let (s, e) = arg_region(&b, cp);
+        let idents: Vec<&str> = b[s..e]
+            .iter()
+            .filter(|t| t.is_ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["w", "Box", "new", "q"]);
+    }
+}

@@ -35,12 +35,16 @@
 #![warn(missing_docs)]
 
 pub mod analyses;
+pub mod calibrate;
+pub mod dataflow;
 pub mod graph;
 pub mod lexer;
+pub mod locks;
 pub mod parse;
 pub mod report;
 pub mod rules;
 pub mod shadow;
+pub mod taint;
 
 pub use analyses::{analyze, Analysis, SourceFile};
 pub use report::render_json;

@@ -5,25 +5,47 @@
 //! cargo run -p cdna-check                 # scan, print diagnostics
 //! cargo run -p cdna-check -- --json out.json   # also write JSON report
 //! cargo run -p cdna-check -- --root /path/to/repo
+//! cargo run -p cdna-check -- --baseline old-report.json   # ratchet mode
+//! cargo run -p cdna-check -- --calibrate  # seeded-fixture calibration
 //! ```
+//!
+//! **Ratchet mode** (`--baseline`): violations already present in the
+//! given report (matched by rule + file + line) are printed as
+//! `baselined` and do not fail the run; only *new* violations exit 1.
+//! This lets a new rule land warn-first — commit the report it produces
+//! as the baseline, then burn the baseline down to empty and drop the
+//! flag.
+//!
+//! **Calibration mode** (`--calibrate`): runs the seeded-violation
+//! fixtures under `crates/check/tests/corpus/` and exits 1 unless every
+//! seeded CDNA011/012/013 violation is caught at its exact file:line
+//! (and nothing else fires) — the proof that the analyses actually
+//! detect what they claim to.
 
-use cdna_check::{check_repo, render_json, workspace_root};
+use cdna_check::{calibrate, check_repo, render_json, report::parse_baseline, workspace_root};
 use std::path::PathBuf;
 
 fn main() {
     let mut root = workspace_root();
     let mut json_path: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut run_calibration = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json_path = args.next().map(PathBuf::from),
+            "--baseline" => baseline_path = args.next().map(PathBuf::from),
+            "--calibrate" => run_calibration = true,
             "--root" => {
                 if let Some(r) = args.next() {
                     root = PathBuf::from(r);
                 }
             }
             "--help" | "-h" => {
-                println!("usage: cdna-check [--root DIR] [--json REPORT.json]");
+                println!(
+                    "usage: cdna-check [--root DIR] [--json REPORT.json] \
+                     [--baseline REPORT.json] [--calibrate]"
+                );
                 return;
             }
             other => {
@@ -33,6 +55,43 @@ fn main() {
         }
     }
 
+    if run_calibration {
+        let corpus = root.join("crates/check/tests/corpus");
+        match calibrate::calibrate(&corpus) {
+            Ok(failures) if failures.is_empty() => {
+                println!("cdna-check: calibration OK — every seeded violation caught");
+                return;
+            }
+            Ok(failures) => {
+                for f in &failures {
+                    eprintln!("cdna-check: calibration: {f}");
+                }
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("cdna-check: calibration failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let baseline = match &baseline_path {
+        Some(path) => match std::fs::read_to_string(path).map_err(|e| e.to_string()) {
+            Ok(text) => match parse_baseline(&text) {
+                Ok(entries) => Some(entries),
+                Err(e) => {
+                    eprintln!("cdna-check: bad baseline {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("cdna-check: cannot read {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+
     let report = match check_repo(&root) {
         Ok(r) => r,
         Err(e) => {
@@ -41,18 +100,37 @@ fn main() {
         }
     };
 
+    let mut new_violations = 0usize;
+    let mut baselined = 0usize;
     for d in &report.diagnostics {
-        println!("{}", d.render());
+        let known = baseline.as_ref().is_some_and(|b| {
+            b.iter()
+                .any(|(r, f, l)| r == d.rule && *f == d.file && *l == d.line)
+        });
+        if known {
+            baselined += 1;
+            println!("{} [baselined]", d.render());
+        } else {
+            new_violations += 1;
+            println!("{}", d.render());
+        }
     }
     println!(
-        "cdna-check: {} file(s), {} manifest(s), {} allow annotation(s), {} violation(s)",
+        "cdna-check: {} file(s), {} manifest(s), {} allow annotation(s), {} violation(s){}",
         report.files_scanned,
         report.manifests_scanned,
         report.allow_count,
-        report.diagnostics.len()
+        report.diagnostics.len(),
+        if baseline.is_some() {
+            format!(" ({baselined} baselined, {new_violations} new)")
+        } else {
+            String::new()
+        }
     );
 
     if let Some(path) = json_path {
+        // The artifact always reflects the full scan; the baseline only
+        // affects the exit code, so committed reports stay comparable.
         if let Err(e) = std::fs::write(&path, render_json(&report)) {
             eprintln!("cdna-check: cannot write {}: {e}", path.display());
             std::process::exit(2);
@@ -60,7 +138,7 @@ fn main() {
         println!("cdna-check: JSON report written to {}", path.display());
     }
 
-    if !report.clean() {
+    if new_violations > 0 {
         std::process::exit(1);
     }
 }

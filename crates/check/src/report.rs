@@ -1,12 +1,13 @@
 //! Machine-readable JSON report for CI, built on `cdna-trace`'s
 //! [`JsonWriter`] so the checker stays dependency-free.
 //!
-//! Shape (`schema_version` 2 — stable since the symbol-graph rules):
+//! Shape (`schema_version` 3 — since the dataflow rules CDNA011–013;
+//! version 2 covered the symbol-graph rules):
 //!
 //! ```json
 //! {
 //!   "tool": "cdna-check",
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "clean": false,
 //!   "files_scanned": 42,
 //!   "manifests_scanned": 11,
@@ -31,7 +32,7 @@ use std::collections::BTreeMap;
 
 /// The report schema version; bump when a field changes meaning or is
 /// removed (adding fields is not a bump).
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Renders a [`StaticReport`] as a JSON document.
 pub fn render_json(report: &StaticReport) -> String {
@@ -84,6 +85,167 @@ pub fn render_json(report: &StaticReport) -> String {
     w.finish()
 }
 
+/// One baselined violation: `(rule, file, line)`. Messages are
+/// deliberately not part of the identity — rewording a diagnostic must
+/// not un-baseline it.
+pub type BaselineEntry = (String, String, u32);
+
+/// Parses the `diagnostics` array out of a previously emitted report
+/// (the `--baseline` ratchet input). Hand-rolled scanner over our own
+/// byte-stable format — tolerant of whitespace and reordered keys, so
+/// hand-edited baselines keep working. Returns an error string on
+/// malformed input rather than silently baselining nothing.
+pub fn parse_baseline(json: &str) -> Result<Vec<BaselineEntry>, String> {
+    let bytes = json.as_bytes();
+    let key = "\"diagnostics\"";
+    let Some(mut i) = json.find(key) else {
+        return Err("no \"diagnostics\" key in baseline".to_string());
+    };
+    i += key.len();
+    // To the opening `[`.
+    while i < bytes.len() && bytes[i] != b'[' {
+        i += 1;
+    }
+    if i == bytes.len() {
+        return Err("\"diagnostics\" is not an array".to_string());
+    }
+    i += 1;
+    let mut out = Vec::new();
+    loop {
+        skip_ws(bytes, &mut i);
+        match bytes.get(i) {
+            Some(b']') => return Ok(out),
+            Some(b',') => {
+                i += 1;
+                continue;
+            }
+            Some(b'{') => {
+                i += 1;
+                let mut rule = None;
+                let mut file = None;
+                let mut line = None;
+                loop {
+                    skip_ws(bytes, &mut i);
+                    match bytes.get(i) {
+                        Some(b'}') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b',') | Some(b':') => {
+                            i += 1;
+                            continue;
+                        }
+                        Some(b'"') => {
+                            let k = parse_string(json, &mut i)?;
+                            skip_ws(bytes, &mut i);
+                            if bytes.get(i) != Some(&b':') {
+                                return Err(format!("expected `:` after key {k:?}"));
+                            }
+                            i += 1;
+                            skip_ws(bytes, &mut i);
+                            match k.as_str() {
+                                "rule" => rule = Some(parse_string(json, &mut i)?),
+                                "file" => file = Some(parse_string(json, &mut i)?),
+                                "line" => line = Some(parse_number(bytes, &mut i)?),
+                                _ => skip_value(json, &mut i)?,
+                            }
+                        }
+                        _ => return Err("malformed diagnostic object".to_string()),
+                    }
+                }
+                match (rule, file, line) {
+                    (Some(r), Some(f), Some(l)) => out.push((r, f, l)),
+                    _ => return Err("diagnostic missing rule/file/line".to_string()),
+                }
+            }
+            _ => return Err("malformed diagnostics array".to_string()),
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], i: &mut usize) {
+    while bytes
+        .get(*i)
+        .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+    {
+        *i += 1;
+    }
+}
+
+fn parse_string(json: &str, i: &mut usize) -> Result<String, String> {
+    let bytes = json.as_bytes();
+    if bytes.get(*i) != Some(&b'"') {
+        return Err("expected string".to_string());
+    }
+    *i += 1;
+    let mut out = String::new();
+    while let Some(&b) = bytes.get(*i) {
+        match b {
+            b'"' => {
+                *i += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *i += 1;
+                match bytes.get(*i) {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        // `\uXXXX`: decode the code unit (reports only
+                        // ever emit BMP escapes).
+                        let hex = json.get(*i + 1..*i + 5).ok_or("truncated \\u escape")?;
+                        let cp = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        *i += 4;
+                    }
+                    Some(&c) => out.push(c as char),
+                    None => return Err("truncated escape".to_string()),
+                }
+                *i += 1;
+            }
+            _ => {
+                // Copy the full UTF-8 scalar starting here.
+                let s = &json[*i..];
+                let ch = s.chars().next().ok_or("truncated string")?;
+                out.push(ch);
+                *i += ch.len_utf8();
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_number(bytes: &[u8], i: &mut usize) -> Result<u32, String> {
+    let start = *i;
+    let mut value: u64 = 0;
+    while let Some(&b) = bytes.get(*i).filter(|b| b.is_ascii_digit()) {
+        value = value.saturating_mul(10).saturating_add(u64::from(b - b'0'));
+        *i += 1;
+    }
+    if start == *i {
+        return Err("expected number".to_string());
+    }
+    u32::try_from(value).map_err(|e| e.to_string())
+}
+
+/// Skips one scalar value (string or number/keyword) — enough for the
+/// flat diagnostic objects the report emits.
+fn skip_value(json: &str, i: &mut usize) -> Result<(), String> {
+    let bytes = json.as_bytes();
+    if bytes.get(*i) == Some(&b'"') {
+        parse_string(json, i).map(|_| ())
+    } else {
+        while bytes
+            .get(*i)
+            .is_some_and(|b| !matches!(b, b',' | b'}' | b']'))
+        {
+            *i += 1;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,7 +261,7 @@ mod tests {
         };
         let json = render_json(&r);
         assert!(json.contains(r#""tool":"cdna-check""#));
-        assert!(json.contains(r#""schema_version":2"#));
+        assert!(json.contains(r#""schema_version":3"#));
         assert!(json.contains(r#""clean":true"#));
         assert!(json.contains(r#""files_scanned":3"#));
         assert!(json.contains(r#""diagnostics":[]"#));
@@ -145,7 +307,66 @@ mod tests {
         assert_eq!(dedup.len(), RULE_NAMES.len(), "duplicate code: {codes:?}");
         assert_eq!(rule_code("sim-time"), "CDNA001");
         assert_eq!(rule_code("exhaustive-fault"), "CDNA010");
+        assert_eq!(rule_code("guest-taint"), "CDNA011");
+        assert_eq!(rule_code("lock-order"), "CDNA012");
+        assert_eq!(rule_code("send-audit"), "CDNA013");
         assert_eq!(rule_severity("unused-allow"), "warning");
         assert_eq!(rule_severity("must-pair"), "error");
+        assert_eq!(rule_severity("guest-taint"), "error");
+    }
+
+    #[test]
+    fn baseline_round_trips_through_render() {
+        let r = StaticReport {
+            diagnostics: vec![
+                Diagnostic {
+                    rule: "guest-taint",
+                    file: "crates/xen/src/cdna_driver.rs".into(),
+                    line: 42,
+                    message: "path: pump_tx → dma, \"quoted\"".into(),
+                },
+                Diagnostic {
+                    rule: "lock-order",
+                    file: "crates/sim/src/par.rs".into(),
+                    line: 7,
+                    message: "cycle".into(),
+                },
+            ],
+            files_scanned: 1,
+            manifests_scanned: 1,
+            allow_count: 0,
+        };
+        let entries = parse_baseline(&render_json(&r)).expect("parse");
+        assert_eq!(
+            entries,
+            vec![
+                (
+                    "guest-taint".to_string(),
+                    "crates/xen/src/cdna_driver.rs".to_string(),
+                    42
+                ),
+                (
+                    "lock-order".to_string(),
+                    "crates/sim/src/par.rs".to_string(),
+                    7
+                ),
+            ]
+        );
+    }
+
+    #[test]
+    fn baseline_tolerates_whitespace_and_rejects_garbage() {
+        let ok = r#"{ "diagnostics": [
+            { "file": "a.rs", "line": 3, "rule": "panic", "extra": "x" }
+        ] }"#;
+        assert_eq!(
+            parse_baseline(ok).expect("parse"),
+            vec![("panic".to_string(), "a.rs".to_string(), 3)]
+        );
+        assert!(parse_baseline("{}").is_err(), "missing key must error");
+        assert!(
+            parse_baseline(r#"{"diagnostics":[{"rule":"x"}]}"#).is_err(),
+            "incomplete entries must error"
+        );
     }
 }

@@ -15,17 +15,22 @@
 //! | `layering` | CDNA008 | crate dependency edge against the layer order |
 //! | `must-pair` | CDNA009 | pin acquired but not released on a non-panic path |
 //! | `exhaustive-fault` | CDNA010 | wildcard `match` arm on a fault enum |
+//! | `guest-taint` | CDNA011 | guest-controlled data reaches a pin/DMA/ring sink unvalidated |
+//! | `lock-order` | CDNA012 | lock-order cycle or lock held across a call that locks |
+//! | `send-audit` | CDNA013 | non-`Send`-safe field in a type crossing the queue `Send` seam |
 //!
-//! The last four are produced by the symbol-graph passes in
-//! [`crate::analyses`]; this module owns the token-level rules, the
-//! rule registry (names, codes, severities), and the repository walker.
+//! CDNA007–010 are produced by the symbol-graph passes in
+//! [`crate::analyses`], CDNA011–013 by the dataflow passes in
+//! [`crate::taint`] and [`crate::locks`]; this module owns the
+//! token-level rules, the rule registry (names, codes, severities), and
+//! the repository walker.
 
 use crate::analyses::{analyze, SourceFile};
 use crate::lexer::{scrub, test_lines, tokenize, Token};
 use std::path::{Path, PathBuf};
 
 /// Names of every static rule, in report order.
-pub const RULE_NAMES: [&str; 10] = [
+pub const RULE_NAMES: [&str; 13] = [
     "sim-time",
     "nondeterministic-map",
     "panic",
@@ -36,6 +41,9 @@ pub const RULE_NAMES: [&str; 10] = [
     "layering",
     "must-pair",
     "exhaustive-fault",
+    "guest-taint",
+    "lock-order",
+    "send-audit",
 ];
 
 /// Stable machine-readable code for a rule (`CDNA001`…), used by the
@@ -52,6 +60,9 @@ pub fn rule_code(rule: &str) -> &'static str {
         "layering" => "CDNA008",
         "must-pair" => "CDNA009",
         "exhaustive-fault" => "CDNA010",
+        "guest-taint" => "CDNA011",
+        "lock-order" => "CDNA012",
+        "send-audit" => "CDNA013",
         _ => "CDNA000",
     }
 }

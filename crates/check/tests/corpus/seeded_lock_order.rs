@@ -1,0 +1,36 @@
+// cdna-expect: lock-order crates/sim/src/par.rs:13
+// cdna-expect: lock-order crates/sim/src/par.rs:19
+// cdna-expect: lock-order crates/sim/src/par.rs:30
+// cdna-fixture-file: crates/sim/src/par.rs
+//! Lock helpers and the seeded inversion.
+use std::sync::{Mutex, MutexGuard};
+/// Poison-tolerant lock helper (its body is the acquisition itself).
+pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+/// Takes `a` then `b`: one half of the seeded cycle.
+pub fn ab(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let ga = lock(a);
+    let gb = lock(b);
+    let _ = (ga, gb);
+}
+/// Takes `b` then `a`: the inversion that closes the cycle.
+pub fn ba(a: &Mutex<u32>, b: &Mutex<u32>) {
+    let gb = lock(b);
+    let ga = lock(a);
+    let _ = (ga, gb);
+}
+/// Locks the controller (a hidden acquisition behind a call).
+pub fn tick(ctrl: &Mutex<u32>) {
+    let g = lock(ctrl);
+    let _ = g;
+}
+/// Holds `slots` across a call that locks: the seeded pattern.
+pub fn drive(slots: &Mutex<u32>, ctrl: &Mutex<u32>) {
+    let s = lock(slots);
+    tick(ctrl);
+    let _ = s;
+}

@@ -1,0 +1,60 @@
+// cdna-expect: send-audit crates/model/src/queue.rs:8
+// cdna-expect: send-audit crates/model/src/queue.rs:13
+// cdna-expect: send-audit crates/model/src/queue.rs:43
+// cdna-fixture-file: crates/sim/src/engine.rs
+//! Engine stand-in: owns the Send seam.
+/// Installs a custom event queue (the Send seam).
+pub fn with_event_queue(q: u32) -> u32 { q }
+// cdna-fixture-file: crates/model/src/queue.rs
+//! Send-seam fixture.
+use std::rc::Rc;
+/// Event type.
+pub struct Event;
+/// Queue crossing the Send seam with a non-Send field: seeded.
+pub struct BadQueue {
+    /// Shared counter — wrong type for a Send seam.
+    pub shared: Rc<u32>,
+}
+/// Inner state reached through containment.
+pub struct Inner {
+    /// Raw pointer smuggled behind a clean-looking wrapper.
+    pub ptr: *mut u32,
+}
+/// Queue reaching `Inner` via a field (containment closure).
+pub struct WrapQueue {
+    /// Contained state.
+    pub inner: Inner,
+}
+/// The queue trait (local stand-in for `cdna_sim::EventQueue`).
+pub trait EventQueue {
+    /// Pops the next event.
+    fn pop(&mut self) -> Option<Event>;
+}
+impl EventQueue for BadQueue {
+    fn pop(&mut self) -> Option<Event> {
+        None
+    }
+}
+impl EventQueue for WrapQueue {
+    fn pop(&mut self) -> Option<Event> {
+        None
+    }
+}
+/// Def-use: a local constructor flows into the seam.
+pub fn install() {
+    let q = LeakQueue::new(7);
+    with_event_queue(q);
+}
+/// A queue passed by value through the seam (no impl block).
+pub struct LeakQueue {
+    /// Interior mutability is not Send-safe.
+    pub cell: std::cell::RefCell<u32>,
+}
+impl LeakQueue {
+    /// Builds the queue.
+    pub fn new(v: u32) -> Self {
+        LeakQueue {
+            cell: std::cell::RefCell::new(v),
+        }
+    }
+}

@@ -1,0 +1,53 @@
+// cdna-expect: guest-taint crates/xen/src/driver.rs:10
+// cdna-expect: guest-taint crates/xen/src/driver.rs:18
+// cdna-expect: guest-taint crates/ricenic/src/device.rs:5
+// cdna-fixture-file: crates/nic/src/ring.rs
+//! Ring model for the taint fixture.
+/// Stores a descriptor (privileged sink).
+pub fn write_at(idx: u64) { let _ = idx; }
+/// Loads a descriptor (guest-memory import).
+pub fn read_at(idx: u64) -> u64 { idx }
+// cdna-fixture-file: crates/net/src/pci.rs
+//! Bus model.
+/// Issues a DMA transfer (privileged sink).
+pub fn dma(bytes: u64) -> u64 { bytes }
+// cdna-fixture-file: crates/core/src/protection.rs
+//! Validation primitives.
+/// Validates a producer index (sanitizer).
+pub fn precheck(v: u64) -> bool { v > 0 }
+/// Sequence-number check (sanitizer).
+pub fn check(seq: u64) -> bool { seq > 0 }
+// cdna-fixture-file: crates/xen/src/driver.rs
+//! Hypercall surface for the taint fixture.
+/// Validated flush: precheck is sequenced before the ring store.
+pub fn flush_tx_validated(idx: u64) {
+    if precheck(idx) {
+        write_at(idx);
+    }
+}
+/// Direct flush: the seeded violation — no sanitizer on the path.
+pub fn flush_tx_direct(idx: u64) {
+    write_at(idx);
+}
+/// Stages a descriptor and issues the transfer (vulnerable helper).
+fn stage(idx: u64) {
+    dma(idx);
+}
+/// Transitive seeded violation: the tainted root reaches `dma` via `stage`.
+pub fn queue_tx(idx: u64) {
+    stage(idx);
+}
+// cdna-fixture-file: crates/ricenic/src/device.rs
+//! Device model for the taint fixture.
+/// Seeded import violation: a ring load flows to DMA unchecked.
+pub fn pump(idx: u64) {
+    let d = read_at(idx);
+    dma(d);
+}
+/// Clean: the sequence check sanitizes before the DMA issue.
+pub fn pump_checked(idx: u64) {
+    let d = read_at(idx);
+    if check(d) {
+        dma(d);
+    }
+}

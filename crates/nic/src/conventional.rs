@@ -344,6 +344,10 @@ impl ConventionalNic {
             return Ok(RxDisposition::DroppedTooSmall);
         }
         self.rx_used += 1;
+        // The conventional NIC is the paper's unprotected baseline — it
+        // trusts its rings by design; protection is the software bridge in
+        // the driver domain, not the device.
+        // cdna-check: allow(guest-taint): unprotected-baseline NIC by design
         let xfer = bus.dma(now, frame.buffer_bytes());
         // Consumer writeback rides along.
         bus.dma(xfer.done, 8);
@@ -428,6 +432,8 @@ impl ConventionalNic {
                 let frame = Frame::tcp_data(meta.src, meta.dst, payload, meta.flow, flow_seq);
                 flow_seq += payload as u64;
                 self.tx_inflight_bytes += frame.buffer_bytes();
+                // Descriptors are trusted by design (see frame_from_wire).
+                // cdna-check: allow(guest-taint): unprotected-baseline NIC
                 let xfer = bus.dma(ready_floor, frame.buffer_bytes());
                 let ready_at = xfer.done + self.cfg.fw_tx_per_frame;
                 activity.emissions.push(TxEmission {

@@ -255,6 +255,11 @@ where
                         // protocol: an unwinding worker would leave the
                         // caller waiting on `finish` forever.
                         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            // The slot mutex is per-index and `step` only
+                            // touches its own slot's state; no other holder
+                            // ever acquires a second lock, so the nesting
+                            // cannot invert.
+                            // cdna-check: allow(lock-order): per-index slot mutex
                             step(i, r, t)
                         }));
                         if let Err(p) = caught {

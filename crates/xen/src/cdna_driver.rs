@@ -261,6 +261,10 @@ impl CdnaGuestDriver {
             .zip(self.pending_tx_pages.drain(..))
         {
             let desc = DmaDescriptor::tx(req.buf, req.flags, req.meta);
+            // DmaPolicy::Direct is the paper's unprotected ablation —
+            // descriptors bypass validation on purpose so benches can price
+            // the protection machinery.
+            // cdna-check: allow(guest-taint): DmaPolicy::Direct ablation
             ring.write_at(self.tx_prod, desc);
             self.tx_inflight.push_back((self.tx_prod, origin));
             self.tx_prod += 1;
@@ -435,6 +439,8 @@ impl CdnaGuestDriver {
         }
         let ring = rings.get_mut(self.rx_ring).expect("ring exists"); // cdna-check: allow(panic): ring created at attach
         for (req, &page) in reqs.iter().zip(&pages) {
+            // Deliberately unvalidated (see flush_tx_direct).
+            // cdna-check: allow(guest-taint): DmaPolicy::Direct ablation
             ring.write_at(self.rx_prod, DmaDescriptor::rx(req.buf));
             self.rx_posted.push_back(page);
             self.rx_prod += 1;

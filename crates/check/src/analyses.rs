@@ -69,6 +69,7 @@ pub const LAYERS: &[(&str, u32)] = &[
     ("bench", 7),
     ("model", 8),
     ("rack", 8),
+    ("fuzz", 9),
     ("repro", 9),
 ];
 

@@ -40,6 +40,50 @@ pub enum FaultKind {
     },
 }
 
+impl FaultKind {
+    /// Stable numeric code for the fault class, mirroring the
+    /// `cdna-check` `CDNA0xx` scheme: the code identifies the variant,
+    /// never its payload, so trace/report consumers and fuzz coverage
+    /// keys can match on it instead of on `Debug` strings (which change
+    /// whenever a payload field is added).
+    ///
+    /// Codes are append-only: `1` stale sequence, `2` empty slot, `3`
+    /// IOMMU violation, `4` shadow-checker divergence. A shadow
+    /// violation's inner class code is available via
+    /// [`FaultKind::shadow_code`].
+    pub fn code(&self) -> u32 {
+        match self {
+            FaultKind::StaleSequence { .. } => 1,
+            FaultKind::EmptySlot { .. } => 2,
+            FaultKind::IommuViolation { .. } => 3,
+            FaultKind::ShadowViolation { .. } => 4,
+        }
+    }
+
+    /// Stable kebab-case name for the fault class (same contract as
+    /// [`FaultKind::code`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::StaleSequence { .. } => "stale-sequence",
+            FaultKind::EmptySlot { .. } => "empty-slot",
+            FaultKind::IommuViolation { .. } => "iommu-violation",
+            FaultKind::ShadowViolation { .. } => "shadow-violation",
+        }
+    }
+
+    /// For [`FaultKind::ShadowViolation`], the shadow checker's stable
+    /// violation-class code (`cdna_check::shadow::ViolationKind::code`);
+    /// `None` for device-reported faults.
+    pub fn shadow_code(&self) -> Option<u32> {
+        match self {
+            FaultKind::ShadowViolation { code } => Some(*code),
+            FaultKind::StaleSequence { .. }
+            | FaultKind::EmptySlot { .. }
+            | FaultKind::IommuViolation { .. } => None,
+        }
+    }
+}
+
 impl fmt::Display for FaultKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -106,5 +150,38 @@ mod tests {
     fn empty_slot_display() {
         let k = FaultKind::EmptySlot { index: 99 };
         assert!(k.to_string().contains("99"));
+    }
+
+    #[test]
+    fn codes_and_names_are_stable_and_distinct() {
+        let kinds = [
+            FaultKind::StaleSequence {
+                expected: 1,
+                found: 2,
+            },
+            FaultKind::EmptySlot { index: 0 },
+            FaultKind::IommuViolation { page: PageId(7) },
+            FaultKind::ShadowViolation { code: 5 },
+        ];
+        // Pinned: these codes are a wire format for reports and fuzz
+        // coverage keys — changing them breaks replay corpora.
+        assert_eq!(kinds.map(|k| k.code()), [1, 2, 3, 4]);
+        assert_eq!(
+            kinds.map(|k| k.name()),
+            [
+                "stale-sequence",
+                "empty-slot",
+                "iommu-violation",
+                "shadow-violation"
+            ]
+        );
+        // The code identifies the variant, not the payload.
+        let other = FaultKind::StaleSequence {
+            expected: 9,
+            found: 0,
+        };
+        assert_eq!(other.code(), kinds[0].code());
+        assert_eq!(kinds[3].shadow_code(), Some(5));
+        assert_eq!(kinds[0].shadow_code(), None);
     }
 }

@@ -1,0 +1,415 @@
+//! Coverage-guided campaign loop: generations of episodes, energy
+//! steered by newly discovered coverage, and a minimized corpus.
+//!
+//! Coverage is the set of `(persona, outcome label)` pairs observed so
+//! far — rejection reasons, device errors, and `fault:<kind>` labels —
+//! so a campaign measures how much of the protection surface its
+//! personas actually exercised. Generations fan out over the
+//! [`cdna_sim::par`] worker pool; because every episode is a pure
+//! function of its spec (and the process-wide mutation switch, mirrored
+//! onto each worker), the merged result is byte-identical for any
+//! `--jobs` value.
+
+use std::collections::BTreeMap;
+
+use cdna_mem::mutation::{self, MutationKind};
+use cdna_sim::par;
+use cdna_trace::json::JsonWriter;
+
+use crate::episode::{run_episode, EpisodeOutcome, EpisodeSpec};
+use crate::persona::{Persona, ALL};
+
+/// Campaign parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Master seed; every episode seed derives from it.
+    pub seed: u64,
+    /// Total episodes to run.
+    pub episodes: u32,
+    /// Adversarial actions per episode.
+    pub actions: u32,
+    /// Worker threads (resolved; 1 = inline).
+    pub jobs: usize,
+    /// Seeded protection-path bug to activate, if any.
+    pub mutation: Option<MutationKind>,
+}
+
+impl CampaignConfig {
+    /// The default campaign: 64 episodes × 160 actions ≈ 10k+ mutated
+    /// interactions.
+    pub fn new(seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            seed,
+            episodes: 64,
+            actions: 160,
+            jobs: 1,
+            mutation: None,
+        }
+    }
+
+    /// Shrinks the campaign for smoke tests and CI.
+    pub fn quick(mut self) -> CampaignConfig {
+        self.episodes = 16;
+        self.actions = 40;
+        self
+    }
+}
+
+/// One observed coverage point.
+#[derive(Debug, Clone)]
+pub struct CoveragePoint {
+    /// The persona that produced the label.
+    pub persona: Persona,
+    /// The outcome label.
+    pub label: String,
+    /// Total observations across the campaign.
+    pub count: u64,
+    /// Seed of the episode that first discovered the point.
+    pub first_seed: u64,
+}
+
+/// A minimized reproducer for one coverage point.
+#[derive(Debug, Clone)]
+pub struct CorpusEntry {
+    /// The persona to run.
+    pub persona: Persona,
+    /// The label this entry reproduces.
+    pub label: String,
+    /// The discovering episode's seed.
+    pub seed: u64,
+    /// Minimized action count that still hits the label.
+    pub actions: u32,
+}
+
+/// A finished campaign: aggregate counters, the coverage map, and the
+/// minimized corpus.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// The configuration that ran.
+    pub config: CampaignConfig,
+    /// Episodes actually executed (excluding minimization re-runs).
+    pub episodes_run: u64,
+    /// Total adversarial interactions injected.
+    pub interactions: u64,
+    /// Must-reject probes that were accepted.
+    pub breaches: u64,
+    /// Faults attributed to the attacker's contexts (expected).
+    pub attacker_faults: u64,
+    /// Faults attributed to victim contexts (must be 0).
+    pub victim_faults: u64,
+    /// Faults attributed to any non-attacker context (must be 0).
+    pub misattributed: u64,
+    /// Faults observed in control runs (must be 0).
+    pub control_faults: u64,
+    /// Episodes whose victim digest diverged from control (must be 0).
+    pub digest_mismatches: u64,
+    /// Episodes that broke event-channel conservation (must be 0).
+    pub evtchn_breaks: u64,
+    /// Whether any episode surfaced a protection anomaly.
+    pub caught: bool,
+    /// The coverage map, sorted by (persona, label).
+    pub coverage: Vec<CoveragePoint>,
+    /// Minimized reproducers, one per coverage point, same order.
+    pub corpus: Vec<CorpusEntry>,
+}
+
+/// Splitmix-style episode seed: decorrelates personas and episode
+/// counters without any shared RNG state across workers.
+fn episode_seed(base: u64, persona_idx: usize, k: u64) -> u64 {
+    let mut z = base
+        ^ (persona_idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (k + 1).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Largest-remainder apportionment of `budget` across `weights`
+/// (deterministic: remainder ties break on the lower index).
+fn apportion(budget: u32, weights: &[u64]) -> Vec<u32> {
+    let total: u64 = weights.iter().sum::<u64>().max(1);
+    let mut shares: Vec<u32> = weights
+        .iter()
+        .map(|w| ((budget as u64 * w) / total) as u32)
+        .collect();
+    let assigned: u32 = shares.iter().sum();
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by_key(|&i| (u64::MAX - (budget as u64 * weights[i]) % total, i));
+    for idx in 0..(budget - assigned) as usize {
+        shares[order[idx % order.len()]] += 1;
+    }
+    shares
+}
+
+/// Runs a full campaign. Deterministic for a given config: the same
+/// seed/episodes/actions/mutation produce byte-identical
+/// [`Campaign::report_json`] and [`Campaign::corpus_json`] for every
+/// `jobs` value.
+pub fn run_campaign(cfg: &CampaignConfig) -> Campaign {
+    let mutation = cfg.mutation;
+    // Generation plan: one warm-up episode per persona, then three
+    // energy-weighted generations over the remaining budget.
+    let warmup = cfg.episodes.min(ALL.len() as u32);
+    let rest = cfg.episodes - warmup;
+    let spill = rest % 3;
+    let gen_budgets = [
+        warmup,
+        rest / 3 + u32::from(spill > 0),
+        rest / 3 + u32::from(spill > 1),
+        rest / 3,
+    ];
+
+    let mut counters = [0u64; 8];
+    let mut energy = [1u64; 8];
+    let mut coverage: BTreeMap<(Persona, String), CoveragePoint> = BTreeMap::new();
+    let mut discoverer: BTreeMap<(Persona, String), EpisodeSpec> = BTreeMap::new();
+    let mut camp = Campaign {
+        config: *cfg,
+        episodes_run: 0,
+        interactions: 0,
+        breaches: 0,
+        attacker_faults: 0,
+        victim_faults: 0,
+        misattributed: 0,
+        control_faults: 0,
+        digest_mismatches: 0,
+        evtchn_breaks: 0,
+        caught: false,
+        coverage: Vec::new(),
+        corpus: Vec::new(),
+    };
+
+    for (gen, &budget) in gen_budgets.iter().enumerate() {
+        if budget == 0 {
+            continue;
+        }
+        let shares = if gen == 0 {
+            // Warm-up: exactly one episode per persona (first `budget`).
+            (0..ALL.len())
+                .map(|i| u32::from((i as u32) < budget))
+                .collect()
+        } else {
+            apportion(budget, &energy)
+        };
+        let mut specs = Vec::new();
+        for (pidx, &n) in shares.iter().enumerate() {
+            for _ in 0..n {
+                let seed = episode_seed(cfg.seed, pidx, counters[pidx]);
+                counters[pidx] += 1;
+                specs.push(EpisodeSpec {
+                    persona: ALL[pidx],
+                    seed,
+                    actions: cfg.actions,
+                });
+            }
+        }
+        let outcomes: Vec<EpisodeOutcome> = par::run_indexed_init(
+            cfg.jobs,
+            specs,
+            || mutation::set_active(mutation),
+            |_, spec| run_episode(&spec),
+        );
+        // Serial, order-preserving merge: identical for any job count.
+        let mut new_points = [0u64; 8];
+        for o in &outcomes {
+            camp.episodes_run += 1;
+            camp.interactions += o.interactions;
+            camp.breaches += o.breaches;
+            camp.attacker_faults += o.attacker_faults;
+            camp.victim_faults += o.victim_faults;
+            camp.misattributed += o.misattributed;
+            camp.control_faults += o.control_faults;
+            camp.digest_mismatches += u64::from(!o.digest_match);
+            camp.evtchn_breaks += u64::from(!o.evtchn_conserved);
+            camp.caught |= o.caught();
+            let pidx = ALL.iter().position(|&p| p == o.spec.persona).unwrap_or(0);
+            for (label, &count) in &o.labels {
+                let key = (o.spec.persona, label.clone());
+                if let Some(point) = coverage.get_mut(&key) {
+                    point.count += count;
+                } else {
+                    new_points[pidx] += 1;
+                    coverage.insert(
+                        key.clone(),
+                        CoveragePoint {
+                            persona: o.spec.persona,
+                            label: label.clone(),
+                            count,
+                            first_seed: o.spec.seed,
+                        },
+                    );
+                    discoverer.insert(key, o.spec);
+                }
+            }
+        }
+        // Energy for the next generation: base 1 plus fresh coverage —
+        // personas still finding new surface get more episodes.
+        for (pidx, e) in energy.iter_mut().enumerate() {
+            *e = 1 + new_points[pidx];
+        }
+    }
+
+    // Minimize the corpus serially (same thread ⇒ same mutation state).
+    mutation::set_active(mutation);
+    for ((persona, label), spec) in &discoverer {
+        let mut best = spec.actions;
+        let mut cur = spec.actions;
+        for _ in 0..4 {
+            let half = cur / 2;
+            if half == 0 {
+                break;
+            }
+            let o = run_episode(&EpisodeSpec {
+                actions: half,
+                ..*spec
+            });
+            if o.labels.contains_key(label) {
+                best = half;
+                cur = half;
+            } else {
+                break;
+            }
+        }
+        camp.corpus.push(CorpusEntry {
+            persona: *persona,
+            label: label.clone(),
+            seed: spec.seed,
+            actions: best,
+        });
+    }
+    mutation::set_active(None);
+
+    camp.coverage = coverage.into_values().collect();
+    camp
+}
+
+impl Campaign {
+    /// Number of distinct `(persona, label)` coverage points.
+    pub fn coverage_points(&self) -> usize {
+        self.coverage.len()
+    }
+
+    /// Whether every isolation invariant held: no breach, no
+    /// cross-guest or control-run fault, no victim divergence, and
+    /// event-channel conservation everywhere.
+    pub fn isolated(&self) -> bool {
+        !self.caught
+    }
+
+    /// The campaign report as canonical JSON (`cdna-fuzz/1`). Contains
+    /// no wall-clock or host-dependent fields: byte-identical reports
+    /// are the determinism contract CI pins.
+    pub fn report_json(&self) -> String {
+        let mut w = JsonWriter::with_capacity(8192);
+        w.begin_object();
+        w.key("schema");
+        w.string("cdna-fuzz/1");
+        w.key("seed");
+        w.number_u64(self.config.seed);
+        w.key("episodes");
+        w.number_u64(self.config.episodes as u64);
+        w.key("actions_per_episode");
+        w.number_u64(self.config.actions as u64);
+        w.key("mutation");
+        match self.config.mutation {
+            Some(m) => w.string(m.name()),
+            None => w.null(),
+        }
+        w.key("episodes_run");
+        w.number_u64(self.episodes_run);
+        w.key("interactions");
+        w.number_u64(self.interactions);
+        w.key("coverage_points");
+        w.number_u64(self.coverage.len() as u64);
+        w.key("attacker_faults");
+        w.number_u64(self.attacker_faults);
+        w.key("isolation");
+        w.begin_object();
+        w.key("breaches");
+        w.number_u64(self.breaches);
+        w.key("victim_faults");
+        w.number_u64(self.victim_faults);
+        w.key("misattributed_faults");
+        w.number_u64(self.misattributed);
+        w.key("control_faults");
+        w.number_u64(self.control_faults);
+        w.key("digest_mismatches");
+        w.number_u64(self.digest_mismatches);
+        w.key("evtchn_breaks");
+        w.number_u64(self.evtchn_breaks);
+        w.end_object();
+        w.key("caught");
+        w.boolean(self.caught);
+        w.key("coverage");
+        w.begin_array();
+        for p in &self.coverage {
+            w.begin_object();
+            w.key("persona");
+            w.string(p.persona.name());
+            w.key("label");
+            w.string(&p.label);
+            w.key("count");
+            w.number_u64(p.count);
+            w.key("first_seed");
+            w.number_u64(p.first_seed);
+            w.end_object();
+        }
+        w.end_array();
+        w.key("corpus_entries");
+        w.number_u64(self.corpus.len() as u64);
+        w.end_object();
+        w.finish()
+    }
+
+    /// The minimized corpus as canonical JSON (`cdna-fuzz-corpus/1`).
+    pub fn corpus_json(&self) -> String {
+        let mut w = JsonWriter::with_capacity(4096);
+        w.begin_object();
+        w.key("schema");
+        w.string("cdna-fuzz-corpus/1");
+        w.key("seed");
+        w.number_u64(self.config.seed);
+        w.key("entries");
+        w.begin_array();
+        for e in &self.corpus {
+            w.begin_object();
+            w.key("persona");
+            w.string(e.persona.name());
+            w.key("label");
+            w.string(&e.label);
+            w.key("seed");
+            w.number_u64(e.seed);
+            w.key("actions");
+            w.number_u64(e.actions as u64);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apportion_is_exact_and_deterministic() {
+        let shares = apportion(10, &[1, 1, 1, 1, 1, 1, 1, 1]);
+        assert_eq!(shares.iter().sum::<u32>(), 10);
+        assert_eq!(shares, apportion(10, &[1, 1, 1, 1, 1, 1, 1, 1]));
+        let weighted = apportion(10, &[5, 1, 1, 1, 0, 0, 0, 0]);
+        assert_eq!(weighted.iter().sum::<u32>(), 10);
+        assert!(weighted[0] > weighted[1]);
+    }
+
+    #[test]
+    fn episode_seeds_are_spread() {
+        let a = episode_seed(42, 0, 0);
+        let b = episode_seed(42, 0, 1);
+        let c = episode_seed(42, 1, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+}

@@ -1,0 +1,38 @@
+//! cdna-fuzz: deterministic coverage-guided adversarial fuzzing of the
+//! CDNA guest-visible interface.
+//!
+//! The paper's protection argument (§3.3) is that a malicious guest
+//! driving the concurrent direct-access interface — enqueue hypercalls,
+//! mapped mailbox words, and (under the IOMMU policy) its own
+//! descriptor rings — can harm only itself: every illegal interaction
+//! is rejected or faults the attacker's own contexts, and co-resident
+//! guests proceed untouched. This crate turns that argument into a
+//! machine-checked campaign:
+//!
+//! * [`persona`] — eight malicious-guest strategies covering each slice
+//!   of the interface (forged buffers, forged contexts, producer
+//!   overruns, stale-descriptor replay, mailbox scribbling, doorbell
+//!   storms, IOMMU escapes).
+//! * [`episode`] — one seeded attack: an attacker domain rides a
+//!   standard two-victim testbed, injects persona-driven interactions
+//!   between simulation steps, and the outcome is differenced against a
+//!   byte-identical no-attacker control run of the same world.
+//! * [`campaign`] — the coverage-guided loop: coverage is the hit-set
+//!   of `(persona, outcome-label)` pairs, newly discovered points feed
+//!   an energy schedule across generations, episodes fan out over the
+//!   deterministic worker pool, and first-discovering episodes are
+//!   minimized into a replayable corpus.
+//!
+//! Everything is a pure function of the campaign seed: reports and
+//! corpora are byte-identical across `--jobs` values and across runs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod campaign;
+pub mod episode;
+pub mod persona;
+
+pub use campaign::{run_campaign, Campaign, CampaignConfig, CorpusEntry, CoveragePoint};
+pub use episode::{run_episode, EpisodeOutcome, EpisodeSpec};
+pub use persona::{Persona, ALL};

@@ -1,0 +1,48 @@
+//! Satellite: the fuzzer is byte-deterministic across worker counts.
+//!
+//! The same campaign config must produce byte-identical report and
+//! corpus JSON whether it fans out over 1 or 4 workers, and across
+//! repeated invocations in the same process.
+
+use cdna_fuzz::{run_campaign, CampaignConfig};
+use cdna_mem::mutation::MutationKind;
+
+fn small(seed: u64, jobs: usize, mutation: Option<MutationKind>) -> (String, String) {
+    let mut cfg = CampaignConfig::new(seed).quick();
+    cfg.jobs = jobs;
+    cfg.mutation = mutation;
+    let camp = run_campaign(&cfg);
+    (camp.report_json(), camp.corpus_json())
+}
+
+#[test]
+fn jobs_one_and_four_are_byte_identical() {
+    let (r1, c1) = small(7, 1, None);
+    let (r4, c4) = small(7, 4, None);
+    assert_eq!(r1, r4, "report bytes diverge across worker counts");
+    assert_eq!(c1, c4, "corpus bytes diverge across worker counts");
+}
+
+#[test]
+fn repeated_runs_are_byte_identical() {
+    let (r, c) = small(19, 2, None);
+    let (r2, c2) = small(19, 2, None);
+    assert_eq!(r, r2);
+    assert_eq!(c, c2);
+}
+
+#[test]
+fn mutated_campaigns_are_deterministic_across_jobs_too() {
+    let m = Some(MutationKind::SeqSkip);
+    let (r1, c1) = small(5, 1, m);
+    let (r3, c3) = small(5, 3, m);
+    assert_eq!(r1, r3);
+    assert_eq!(c1, c3);
+}
+
+#[test]
+fn different_seeds_explore_different_episodes() {
+    let (r_a, _) = small(1, 2, None);
+    let (r_b, _) = small(2, 2, None);
+    assert_ne!(r_a, r_b, "seed must steer the campaign");
+}

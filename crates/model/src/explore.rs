@@ -87,7 +87,16 @@ pub fn check_invariants(world: &SystemWorld) -> Vec<String> {
     }
     for f in &world.faults {
         if !matches!(f.kind, FaultKind::ShadowViolation { .. }) {
-            out.push(format!("fault on {}: {:?}", f.ctx, f.kind));
+            // Render via the stable code/name accessors, not `{:?}`:
+            // violation samples land in reports and CI logs, and the
+            // Debug form changes whenever a payload field does.
+            out.push(format!(
+                "fault on {}: {} (code {}): {}",
+                f.ctx,
+                f.kind.name(),
+                f.kind.code(),
+                f.kind
+            ));
         }
     }
     let (sent, collected, pending) = (

@@ -76,6 +76,14 @@ impl DescRing {
     ///
     /// Panics unless `size` is a power of two (hardware rings are), and
     /// at least 2.
+    ///
+    /// The power-of-two requirement is load-bearing beyond hardware
+    /// fidelity: producer/consumer counters are monotonic `u64`s that
+    /// the slot math reduces with `idx % size`, and because 2^64 is an
+    /// exact multiple of every power-of-two size, the slot sequence
+    /// stays continuous even if a counter wraps `u64::MAX` (…size-1, 0,
+    /// 1…). With a non-power-of-two size the wrap would silently skip
+    /// slots; see `producer_wrap_at_u64_boundary_is_continuous`.
     pub fn new(base: PhysAddr, size: u32) -> Self {
         assert!(
             size.is_power_of_two() && size >= 2,
@@ -236,6 +244,41 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_rejected() {
         let _ = DescRing::new(PhysAddr(0), 6);
+    }
+
+    #[test]
+    fn producer_wrap_at_u64_boundary_is_continuous() {
+        // Monotonic indices are u64; nothing in the ring compares them
+        // for ordering, so the only wrap hazard would be the slot map
+        // jumping discontinuously at u64::MAX -> 0. Power-of-two sizes
+        // divide 2^64 exactly, so the lap stays aligned: the slot after
+        // u64::MAX's is slot 0.
+        let size = 8u64;
+        let mut ring = DescRing::new(PhysAddr(0), size as u32);
+        assert_eq!(u64::MAX % size, size - 1, "u64::MAX lands on last slot");
+        assert_eq!(u64::MAX.wrapping_add(1) % size, 0, "wrap continues at 0");
+        ring.write_at(u64::MAX, rx_desc(0xDEAD000));
+        // u64::MAX aliases the same slot as (size - 1).
+        assert_eq!(ring.read_at(size - 1).unwrap().buf.addr.0, 0xDEAD000);
+        // A full lap before u64::MAX aliases it too.
+        assert_eq!(ring.read_at(u64::MAX - size).unwrap().buf.addr.0, 0xDEAD000);
+    }
+
+    #[test]
+    fn table_read_near_u64_boundary() {
+        let mut table = RingTable::new();
+        let r = table.create(PhysAddr(0), 4);
+        table
+            .get_mut(r)
+            .unwrap()
+            .write_at(u64::MAX - 1, rx_desc(0x7000));
+        // Monotonic reads at the extreme index resolve the same slot.
+        assert_eq!(table.read(r, u64::MAX - 1).unwrap().buf.addr.0, 0x7000);
+        assert_eq!(table.read(r, 2).unwrap().buf.addr.0, 0x7000); // (MAX-1)%4 == 2
+        assert!(matches!(
+            table.read(r, u64::MAX),
+            Err(RingError::EmptySlot { .. })
+        ));
     }
 
     #[test]

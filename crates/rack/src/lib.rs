@@ -112,6 +112,12 @@ pub struct RackConfig {
     pub measure: SimTime,
     /// Run the DMA shadow checker on every host.
     pub shadow_check: bool,
+    /// Arm the RiceNIC adversarial mailbox seam on every host
+    /// ([`cdna_ricenic::RiceNicConfig::adversarial`]) so a
+    /// [`RackWorld::run_with_host_hook`] hook can inject malicious
+    /// guest-interface traffic. Off by default; arming it changes no
+    /// benign behaviour.
+    pub adversarial: bool,
     /// Top-of-rack switch timing. `switch.latency` is also the epoch
     /// length.
     pub switch: SwitchConfig,
@@ -137,6 +143,7 @@ impl RackConfig {
             warmup: base.warmup,
             measure: base.measure,
             shadow_check: false,
+            adversarial: false,
             switch: SwitchConfig::default(),
         }
     }
@@ -160,6 +167,13 @@ impl RackConfig {
         self
     }
 
+    /// Arms the adversarial mailbox seam on every host (see
+    /// [`RackConfig::adversarial`]).
+    pub fn with_adversarial(mut self) -> Self {
+        self.adversarial = true;
+        self
+    }
+
     /// The per-host testbed configuration for host `host`: identical
     /// across the rack except for the derived seed and the MAC host
     /// namespace.
@@ -176,6 +190,7 @@ impl RackConfig {
         cfg.warmup = self.warmup;
         cfg.measure = self.measure;
         cfg.shadow_check = self.shadow_check;
+        cfg.ricenic.adversarial = self.adversarial;
         cfg.ricenic.mac_host = host;
         cfg
     }
@@ -361,6 +376,20 @@ impl RackWorld {
     /// `jobs` workers and assembles the report. Determinism does not
     /// depend on `jobs`.
     pub fn run(self, jobs: usize) -> RackReport {
+        self.run_with_host_hook(jobs, |_, _, _| {})
+    }
+
+    /// Like [`RackWorld::run`], but invokes `hook(host, round, sim)`
+    /// for every host at the start of each epoch round, *before* the
+    /// host simulates that epoch. This is the rack-level adversarial
+    /// injection seam (`cdna-fuzz`): a persona perturbs one host's
+    /// guest-visible interface between epochs while the other hosts
+    /// stay untouched — each hook call sees only its own host, so
+    /// determinism is still independent of `jobs`.
+    pub fn run_with_host_hook<H>(self, jobs: usize, hook: H) -> RackReport
+    where
+        H: Fn(usize, u64, &mut Simulation<SystemWorld>) + Sync,
+    {
         let RackWorld {
             cfg,
             mut hosts,
@@ -409,7 +438,8 @@ impl RackWorld {
                 }
                 round < epochs
             },
-            |_, round, sim| {
+            |host, round, sim| {
+                hook(host, round, sim);
                 sim.run_until(SimTime::from_ns(((round + 1) * epoch_ns).min(end_ns)));
             },
         );

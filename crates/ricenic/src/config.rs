@@ -46,6 +46,12 @@ pub struct RiceNicConfig {
     /// (`cdna-rack`). Host 0 — the default — yields the historical
     /// single-host addresses.
     pub mac_host: u8,
+    /// Test-only: arm the raw guest-interface injection seam
+    /// ([`crate::RiceNic::adversarial_mailbox_write`]) that adversarial
+    /// harnesses (`cdna-fuzz`) use to drive mailbox writes outside the
+    /// event loop. Off by default; production builds of the world never
+    /// set it, and the seam refuses to operate when disarmed.
+    pub adversarial: bool,
 }
 
 impl Default for RiceNicConfig {
@@ -66,6 +72,7 @@ impl Default for RiceNicConfig {
             vector_ring_slots: 64,
             desc_format: DescriptorFormat::ricenic(),
             mac_host: 0,
+            adversarial: false,
         }
     }
 }

@@ -412,6 +412,43 @@ impl RiceNic {
         Ok(activity)
     }
 
+    /// Raw adversarial mailbox write: identical to
+    /// [`RiceNic::mailbox_write`], but reachable for *any* context and
+    /// value — the seam `cdna-fuzz` personas use to model a guest that
+    /// scribbles on its mapped mailbox partition (replayed producer
+    /// indices, doorbell storms, garbage words). The device-side
+    /// semantics are exactly the production path: unknown contexts fail
+    /// `Unattached`, out-of-range words fail `BadMailbox`, producer
+    /// regressions are ignored by the monotonic `max`, and overruns
+    /// fault the writing context only.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the firmware was built with
+    /// [`RiceNicConfig::adversarial`] — the seam is test-only and must
+    /// be armed explicitly.
+    ///
+    /// # Errors
+    ///
+    /// As [`RiceNic::mailbox_write`].
+    pub fn adversarial_mailbox_write(
+        &mut self,
+        now: SimTime,
+        ctx: ContextId,
+        mailbox: usize,
+        value: u64,
+        rings: &RingTable,
+        bus: &mut PciBus,
+    ) -> Result<Activity, DeviceError> {
+        // Arming is a harness configuration error, not a runtime
+        // condition, so a hard assert is the right failure mode.
+        assert!(
+            self.cfg.adversarial,
+            "adversarial mailbox seam used without RiceNicConfig::adversarial"
+        );
+        self.mailbox_write(now, ctx, mailbox, value, rings, bus)
+    }
+
     /// A previously emitted frame finished serializing onto the wire.
     pub fn tx_frame_sent(
         &mut self,

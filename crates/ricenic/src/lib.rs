@@ -24,5 +24,5 @@ mod device;
 mod events;
 
 pub use config::RiceNicConfig;
-pub use device::{Activity, ContextCounters, RiceNic, RiceNicStats, RxDelivery};
+pub use device::{Activity, ContextCounters, DeviceError, RiceNic, RiceNicStats, RxDelivery};
 pub use events::MailboxEventUnit;

@@ -113,6 +113,15 @@ pub struct TestbedConfig {
     /// the paper does not evaluate). Requires at least two guests and
     /// [`Direction::Transmit`].
     pub inter_guest: bool,
+    /// How many of the trailing guest domains are built *without* a
+    /// traffic workload: their vcpus, CDNA contexts, rings, and posted
+    /// receive descriptors all exist, but they never generate traffic
+    /// on their own. This is the adversarial-testing seam (`cdna-fuzz`):
+    /// an attacking persona drives an idle guest's contexts through the
+    /// guest-visible interface from outside the event loop, while the
+    /// remaining `guests - idle_guests` victims run the normal workload.
+    /// Zero (the default) reproduces the paper's configurations exactly.
+    pub idle_guests: u16,
     /// Run the `cdna-check` DMA shadow checker alongside the
     /// simulation: mirror page ownership/pinning and per-context
     /// descriptor sequence streams, and cross-check the mirror against
@@ -150,6 +159,7 @@ impl TestbedConfig {
             hypercall_batch: 10,
             notify_batch: 16,
             inter_guest: false,
+            idle_guests: 0,
             shadow_check: false,
             costs: CostModel::default(),
             ricenic: RiceNicConfig::default(),
@@ -173,6 +183,18 @@ impl TestbedConfig {
     /// Sets the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Marks the trailing `n` guests as workload-less attacker slots
+    /// (see [`TestbedConfig::idle_guests`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the guest count.
+    pub fn with_idle_guests(mut self, n: u16) -> Self {
+        assert!(n <= self.guests, "idle guests exceed guest count");
+        self.idle_guests = n;
         self
     }
 

@@ -29,6 +29,7 @@
 
 mod config;
 mod costs;
+mod diff;
 mod report;
 mod testbed;
 mod workload;
@@ -37,6 +38,7 @@ mod world;
 pub use cdna_sim::QueueKind;
 pub use config::{Direction, IoModel, NicKind, TestbedConfig};
 pub use costs::CostModel;
+pub use diff::victim_digest;
 pub use report::{Comparison, RunReport};
 pub use testbed::{
     report_from_world, run_experiment, run_instrumented, Instrumentation, RunArtifacts,

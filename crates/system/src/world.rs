@@ -412,6 +412,10 @@ impl SystemWorld {
     /// rings, pools, and initial receive posting in place.
     pub fn build(cfg: TestbedConfig) -> Self {
         let guests = if cfg.is_virtualized() { cfg.guests } else { 1 };
+        // Trailing idle guests keep their full device plumbing but get
+        // no workload: prime() never wakes them and per-guest reporting
+        // skips them (see TestbedConfig::idle_guests).
+        let active_guests = guests - cfg.idle_guests.min(guests);
         let nic_count = cfg.nics as usize;
         let pages = 60_000 + guests as u32 * nic_count as u32 * 1600;
         let mut mem = PhysMem::new(pages);
@@ -527,7 +531,8 @@ impl SystemWorld {
                         id: dom,
                         role: Role::GuestXen { tx_pool },
                         rx_host: VecDeque::new(),
-                        workload: Some(crate::GuestWorkload::new(g, cfg.conns_per_guest, cfg.nics)),
+                        workload: (g < active_guests)
+                            .then(|| crate::GuestWorkload::new(g, cfg.conns_per_guest, cfg.nics)),
                     });
                 }
                 for i in 0..nic_count {
@@ -594,7 +599,8 @@ impl SystemWorld {
                         id: dom,
                         role: Role::GuestCdna { drivers },
                         rx_host: VecDeque::new(),
-                        workload: Some(crate::GuestWorkload::new(g, cfg.conns_per_guest, cfg.nics)),
+                        workload: (g < active_guests)
+                            .then(|| crate::GuestWorkload::new(g, cfg.conns_per_guest, cfg.nics)),
                     });
                 }
             }
@@ -831,6 +837,42 @@ impl SystemWorld {
     /// cross-host [`SystemWorld::set_remote_dst`] table.
     pub fn guest_rx_mac(&self, guest: u16, nic: usize) -> MacAddr {
         self.rx_dst_mac(guest, nic)
+    }
+
+    /// Folds a RiceNIC [`Activity`] produced *outside* the event loop
+    /// back into the world: faults are recorded, the activity's buffers
+    /// are recycled, and the emissions/interrupt it wants scheduled are
+    /// returned as `(time, event)` pairs for the caller to hand to
+    /// [`cdna_sim::Simulation::schedule`].
+    ///
+    /// This is the injection seam for adversarial harnesses
+    /// (`cdna-fuzz`): a persona drives a device mailbox directly between
+    /// `run_until` steps and this method routes the consequences through
+    /// exactly the same scheduling rules the event loop uses
+    /// (`schedule_emissions` / `schedule_irq`), so an injected run and
+    /// an event-loop run handle device activity identically.
+    pub fn absorb_nic_activity(
+        &mut self,
+        now: SimTime,
+        nic: usize,
+        mut act: Activity,
+    ) -> Vec<(SimTime, Event)> {
+        let mut events = Vec::new();
+        self.faults.extend(act.faults.iter().copied());
+        for e in act.emissions.drain(..) {
+            events.push((
+                e.ready_at.max(now),
+                Event::EmissionDue {
+                    nic,
+                    frame: e.frame,
+                },
+            ));
+        }
+        if let Some((at, reason)) = act.irq_at {
+            events.push((at.max(now), Event::PhysIrq { nic, reason }));
+        }
+        self.recycle_rice(nic, act);
+        events
     }
 
     /// Destination MAC for guest `g`'s transmissions on `nic`: the
@@ -1593,8 +1635,12 @@ impl SystemWorld {
 
         // Still runnable? Pending receive work or transmit headroom.
         let more_rx = !state.rx_host.is_empty();
-        let more_tx =
-            self.cfg.direction == Direction::Transmit && drivers.iter().any(|d| d.can_queue_tx());
+        // A workload-less (idle) guest has nothing to transmit: without
+        // the workload check it would requeue forever once an interrupt
+        // wakes it, spinning the CPU for the rest of the run.
+        let more_tx = self.cfg.direction == Direction::Transmit
+            && state.workload.is_some()
+            && drivers.iter().any(|d| d.can_queue_tx());
         more_rx || more_tx
     }
 
@@ -1770,8 +1816,10 @@ impl SystemWorld {
 
         let chan = &self.channels[guest_index];
         let more_rx = chan.rx_pending() > 0;
-        let more_tx =
-            self.cfg.direction == Direction::Transmit && chan.tx_free() > 0 && !tx_pool.is_empty();
+        let more_tx = self.cfg.direction == Direction::Transmit
+            && state.workload.is_some()
+            && chan.tx_free() > 0
+            && !tx_pool.is_empty();
         more_rx || more_tx
     }
 

@@ -1,0 +1,325 @@
+//! Hypercall-argument fuzzing seam (paper §3.3 threat model).
+//!
+//! Under CDNA's `Validated` policy the *only* way a guest influences
+//! DMA is the enqueue hypercall: the hypervisor validates page
+//! ownership, pins the buffers, stamps sequence numbers, and writes the
+//! descriptor ring on the guest's behalf. The arguments of that
+//! hypercall — buffer addresses, lengths, batch sizes, the claimed
+//! context — are therefore guest-controlled attack surface, and this
+//! module is the seam `cdna-fuzz` uses to exercise it.
+//!
+//! [`AdversarialCaller`] issues arbitrary (well-formed or malformed)
+//! request batches against a live [`ProtectionEngine`] exactly as the
+//! production driver does, and classifies the outcome into the stable
+//! kebab-case labels the fuzzer keys its coverage map on. The builders
+//! ([`foreign_page_tx`], [`out_of_range_tx`], [`straddling_tx`], …)
+//! construct the canonical malformed argument shapes from the
+//! deterministic [`SimRng`] so campaigns replay byte-identically.
+//!
+//! Nothing here bypasses protection: every call goes through the public
+//! [`ProtectionEngine::enqueue_tx`]/[`ProtectionEngine::enqueue_rx`]
+//! entry points, so a probe that *succeeds* where it should have been
+//! rejected is a real protection-path bug, not a harness artifact.
+
+use cdna_core::{ContextError, ContextId, ProtectionEngine, ProtectionError, RxRequest, TxRequest};
+use cdna_mem::{BufferSlice, DomainId, MemError, PageId, PhysMem};
+use cdna_net::{FlowId, MacAddr};
+use cdna_nic::{DescFlags, FrameMeta, RingTable};
+use cdna_sim::SimRng;
+
+/// Outcome of one adversarial hypercall probe, reduced to the stable
+/// labels fuzz coverage is keyed on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// The engine accepted the batch (legal arguments — or a
+    /// protection bug if the arguments were not).
+    Accepted {
+        /// Descriptors enqueued.
+        enqueued: u32,
+        /// The ring's new producer index.
+        producer: u64,
+    },
+    /// The engine rejected the batch; nothing was enqueued or pinned.
+    Rejected {
+        /// Stable rejection label (see [`rejection_label`]).
+        reason: &'static str,
+    },
+}
+
+impl ProbeOutcome {
+    /// The outcome's stable label: `accepted`, or the rejection reason.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProbeOutcome::Accepted { .. } => "accepted",
+            ProbeOutcome::Rejected { reason } => reason,
+        }
+    }
+
+    /// Whether the probe was rejected.
+    pub fn is_rejected(&self) -> bool {
+        matches!(self, ProbeOutcome::Rejected { .. })
+    }
+}
+
+/// Stable kebab-case label for a [`ProtectionError`]. These are wire
+/// format for fuzz coverage keys and reports — append, never rename.
+pub fn rejection_label(e: &ProtectionError) -> &'static str {
+    match e {
+        ProtectionError::Context(c) => match c {
+            ContextError::Exhausted => "ctx-exhausted",
+            ContextError::InvalidContext(_) => "invalid-context",
+            ContextError::NotAssigned(_) => "not-assigned",
+            ContextError::WrongOwner { .. } => "wrong-owner",
+        },
+        ProtectionError::Mem(m) => match m {
+            MemError::OutOfMemory => "out-of-memory",
+            MemError::NoSuchPage(_) => "no-such-page",
+            MemError::NotOwner { .. } => "not-owner",
+            MemError::Pinned(_) => "pinned",
+            MemError::NotPinned(_) => "not-pinned",
+        },
+        ProtectionError::RingFull { .. } => "ring-full",
+        ProtectionError::PolicyViolation { .. } => "policy-violation",
+    }
+}
+
+/// A guest identity issuing adversarial hypercalls: the domain the
+/// probes are issued *as*, and the context they claim to operate.
+/// Forged-context personas simply construct callers whose `ctx` they do
+/// not own.
+#[derive(Debug, Clone, Copy)]
+pub struct AdversarialCaller {
+    /// The calling domain (the attacker's real identity — the
+    /// hypervisor always knows who trapped into it).
+    pub domain: DomainId,
+    /// The context the hypercall names (guest-controlled, forgeable).
+    pub ctx: ContextId,
+}
+
+impl AdversarialCaller {
+    /// Issues an enqueue-TX hypercall with arbitrary `reqs` and
+    /// classifies the result.
+    pub fn issue_tx(
+        &self,
+        engine: &mut ProtectionEngine,
+        reqs: &[TxRequest],
+        nic_consumer: u64,
+        rings: &mut RingTable,
+        mem: &mut PhysMem,
+    ) -> ProbeOutcome {
+        match engine.enqueue_tx(self.ctx, self.domain, reqs, nic_consumer, rings, mem) {
+            Ok(out) => ProbeOutcome::Accepted {
+                enqueued: out.enqueued,
+                producer: out.producer,
+            },
+            Err(e) => ProbeOutcome::Rejected {
+                reason: rejection_label(&e),
+            },
+        }
+    }
+
+    /// Issues an enqueue-RX hypercall with arbitrary `reqs` and
+    /// classifies the result.
+    pub fn issue_rx(
+        &self,
+        engine: &mut ProtectionEngine,
+        reqs: &[RxRequest],
+        nic_consumer: u64,
+        rings: &mut RingTable,
+        mem: &mut PhysMem,
+    ) -> ProbeOutcome {
+        match engine.enqueue_rx(self.ctx, self.domain, reqs, nic_consumer, rings, mem) {
+            Ok(out) => ProbeOutcome::Accepted {
+                enqueued: out.enqueued,
+                producer: out.producer,
+            },
+            Err(e) => ProbeOutcome::Rejected {
+                reason: rejection_label(&e),
+            },
+        }
+    }
+}
+
+/// Frame metadata for adversarial TX descriptors. The MACs name the
+/// attacker's own context address so that even an erroneously accepted
+/// descriptor demuxes back to the attacker, never to a victim.
+fn adversarial_meta(src: MacAddr, nic: u8, payload: u32) -> FrameMeta {
+    FrameMeta {
+        dst: MacAddr::for_peer(nic),
+        src,
+        tcp_payload: payload,
+        flow: FlowId::new(u16::MAX, nic as u16),
+        seq: 0,
+    }
+}
+
+/// A TX request whose buffer lives on a page the caller does not own
+/// (classic cross-guest DMA attempt; must reject `not-owner`).
+pub fn foreign_page_tx(victim_page: PageId, src: MacAddr, nic: u8, rng: &mut SimRng) -> TxRequest {
+    let len = 60 + rng.below(1400) as u32;
+    TxRequest {
+        buf: BufferSlice::new(victim_page.base_addr(), len),
+        flags: DescFlags::END_OF_PACKET,
+        meta: adversarial_meta(src, nic, len),
+    }
+}
+
+/// A TX request pointing past the end of physical memory (must reject
+/// `no-such-page`).
+pub fn out_of_range_tx(total_pages: u32, src: MacAddr, nic: u8, rng: &mut SimRng) -> TxRequest {
+    let beyond = total_pages + 1 + rng.below(1 << 16) as u32;
+    let len = 60 + rng.below(1400) as u32;
+    TxRequest {
+        buf: BufferSlice::new(PageId(beyond).base_addr(), len),
+        flags: DescFlags::END_OF_PACKET,
+        meta: adversarial_meta(src, nic, len),
+    }
+}
+
+/// A TX request whose length straddles from a page the caller owns into
+/// the pages after it (length-based escape; rejected unless every
+/// straddled page is also owned).
+pub fn straddling_tx(owned_page: PageId, src: MacAddr, nic: u8, rng: &mut SimRng) -> TxRequest {
+    let pages = 2 + rng.below(4) as u64;
+    let len = (pages * cdna_mem::PAGE_SIZE) as u32 + rng.below(100) as u32;
+    TxRequest {
+        buf: BufferSlice::new(owned_page.base_addr(), len),
+        flags: DescFlags::END_OF_PACKET,
+        meta: adversarial_meta(src, nic, len.min(1460)),
+    }
+}
+
+/// A well-formed single-frame TX request on a page the caller owns —
+/// the legal baseline probes interleave with malformed ones so the
+/// classifier sees both paths.
+pub fn legal_tx(owned_page: PageId, src: MacAddr, nic: u8, rng: &mut SimRng) -> TxRequest {
+    let len = 60 + rng.below(1400) as u32;
+    TxRequest {
+        buf: BufferSlice::new(owned_page.base_addr(), len),
+        flags: DescFlags::END_OF_PACKET,
+        meta: adversarial_meta(src, nic, len),
+    }
+}
+
+/// An RX credit naming a page the caller does not own (must reject
+/// `not-owner`).
+pub fn foreign_page_rx(victim_page: PageId, rng: &mut SimRng) -> RxRequest {
+    let len = 1514 - rng.below(64) as u32;
+    RxRequest {
+        buf: BufferSlice::new(victim_page.base_addr(), len),
+    }
+}
+
+/// A batch of `n` copies of `req` — the ring-capacity attack shape
+/// (`n` > ring slots must reject `ring-full` before validating).
+pub fn flood_batch<T: Copy>(req: T, n: usize) -> Vec<T> {
+    vec![req; n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdna_core::DmaPolicy;
+
+    fn bench() -> (PhysMem, RingTable, ProtectionEngine) {
+        (PhysMem::new(256), RingTable::new(), ProtectionEngine::new())
+    }
+
+    #[test]
+    fn labels_cover_the_canonical_attacks() {
+        let (mut mem, mut rings, mut engine) = bench();
+        let attacker = DomainId::guest(1);
+        let victim = DomainId::guest(0);
+        let ctx = engine
+            .assign_context(attacker, DmaPolicy::Validated, 8, &mut rings, &mut mem)
+            .unwrap();
+        let victim_page = mem.alloc(victim).unwrap();
+        let own_page = mem.alloc(attacker).unwrap();
+        let mut rng = SimRng::seed_from(7);
+        let caller = AdversarialCaller {
+            domain: attacker,
+            ctx,
+        };
+        let src = MacAddr::for_host_context(0, 0, ctx.0);
+
+        let probe = foreign_page_tx(victim_page, src, 0, &mut rng);
+        let out = caller.issue_tx(&mut engine, &[probe], 0, &mut rings, &mut mem);
+        assert_eq!(out.label(), "not-owner");
+
+        let probe = out_of_range_tx(mem.total_pages(), src, 0, &mut rng);
+        let out = caller.issue_tx(&mut engine, &[probe], 0, &mut rings, &mut mem);
+        assert_eq!(out.label(), "no-such-page");
+
+        let probe = legal_tx(own_page, src, 0, &mut rng);
+        let out = caller.issue_tx(&mut engine, &flood_batch(probe, 9), 0, &mut rings, &mut mem);
+        assert_eq!(out.label(), "ring-full");
+
+        let out = caller.issue_tx(&mut engine, &[probe], 0, &mut rings, &mut mem);
+        assert_eq!(out.label(), "accepted");
+        assert!(!out.is_rejected());
+
+        // Forged context: claiming a context the caller does not own.
+        let victim_ctx = engine
+            .assign_context(victim, DmaPolicy::Validated, 8, &mut rings, &mut mem)
+            .unwrap();
+        let forged = AdversarialCaller {
+            domain: attacker,
+            ctx: victim_ctx,
+        };
+        let out = forged.issue_tx(&mut engine, &[probe], 0, &mut rings, &mut mem);
+        assert_eq!(out.label(), "wrong-owner");
+
+        let unassigned = AdversarialCaller {
+            domain: attacker,
+            ctx: ContextId(20),
+        };
+        let out = unassigned.issue_tx(&mut engine, &[probe], 0, &mut rings, &mut mem);
+        assert_eq!(out.label(), "not-assigned");
+
+        let invalid = AdversarialCaller {
+            domain: attacker,
+            ctx: ContextId(255),
+        };
+        let out = invalid.issue_tx(&mut engine, &[probe], 0, &mut rings, &mut mem);
+        assert_eq!(out.label(), "invalid-context");
+    }
+
+    #[test]
+    fn rx_probes_classify() {
+        let (mut mem, mut rings, mut engine) = bench();
+        let attacker = DomainId::guest(1);
+        let victim = DomainId::guest(0);
+        let ctx = engine
+            .assign_context(attacker, DmaPolicy::Validated, 8, &mut rings, &mut mem)
+            .unwrap();
+        let victim_page = mem.alloc(victim).unwrap();
+        let mut rng = SimRng::seed_from(7);
+        let caller = AdversarialCaller {
+            domain: attacker,
+            ctx,
+        };
+        let probe = foreign_page_rx(victim_page, &mut rng);
+        let out = caller.issue_rx(&mut engine, &[probe], 0, &mut rings, &mut mem);
+        assert_eq!(out.label(), "not-owner");
+    }
+
+    #[test]
+    fn straddle_is_rejected_at_ownership() {
+        let (mut mem, mut rings, mut engine) = bench();
+        let attacker = DomainId::guest(1);
+        let ctx = engine
+            .assign_context(attacker, DmaPolicy::Validated, 8, &mut rings, &mut mem)
+            .unwrap();
+        // One owned page with unowned pages after it.
+        let own = mem.alloc(attacker).unwrap();
+        let mut rng = SimRng::seed_from(9);
+        let caller = AdversarialCaller {
+            domain: attacker,
+            ctx,
+        };
+        let src = MacAddr::for_host_context(0, 0, ctx.0);
+        let probe = straddling_tx(own, src, 0, &mut rng);
+        let out = caller.issue_tx(&mut engine, &[probe], 0, &mut rings, &mut mem);
+        assert!(out.is_rejected(), "straddle accepted: {:?}", out.label());
+    }
+}

@@ -24,6 +24,8 @@
 //!   enqueueing descriptors through the hypervisor's protection engine
 //!   and ringing its private mailboxes.
 
+pub mod adversary;
+
 mod accounting;
 mod bridge;
 mod cdna_driver;

@@ -507,3 +507,40 @@ fn unprotected_context_would_allow_the_attack_cdna_prevents() {
     assert_eq!(act.emissions.len(), 1);
     assert!(act.faults.is_empty());
 }
+
+#[test]
+fn device_faults_carry_stable_codes_and_spare_other_contexts() {
+    // The fuzzer's coverage keys and the trace wire format match on
+    // FaultKind::code()/name(), not on Debug strings — pin the mapping
+    // end to end: a real overrun fault produced by the device carries
+    // code 2 / "empty-slot" and faults only the offending context.
+    let mut b = bench();
+    let attacker = DomainId::guest(0);
+    let victim = DomainId::guest(1);
+    let a_ctx = attach(&mut b, attacker);
+    let v_ctx = attach(&mut b, victim);
+    // Doorbell the attacker's producer past the (never-written) ring.
+    let act = b
+        .nic
+        .mailbox_write(
+            SimTime::ZERO,
+            a_ctx,
+            Mailbox::TxProducer.index(),
+            3,
+            &b.rings,
+            &mut b.bus,
+        )
+        .unwrap();
+    assert_eq!(act.faults.len(), 1);
+    let fault = act.faults[0];
+    assert_eq!(fault.ctx, a_ctx);
+    assert_eq!(fault.kind.code(), 2);
+    assert_eq!(fault.kind.name(), "empty-slot");
+    assert_eq!(fault.kind.shadow_code(), None);
+    assert!(matches!(fault.kind, FaultKind::EmptySlot { index: 0 }));
+    // The victim's context still accepts work through the hypercall.
+    let req = tx_req(&mut b, victim, v_ctx);
+    b.engine
+        .enqueue_tx(v_ctx, victim, &[req], 0, &mut b.rings, &mut b.mem)
+        .unwrap();
+}

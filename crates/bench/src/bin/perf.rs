@@ -5,7 +5,11 @@
 //! scheduler events per wall-clock second the engine sustains across a
 //! fixed, seeded suite of testbed configs. Wall-clock time is legal
 //! here — `crates/bench` is not a sim crate (see `cdna-check`) — and
-//! never feeds back into simulated results.
+//! never feeds back into simulated results. Under CDNA015
+//! (`clock-purity`) wall-clock may only reach `wall_ms*` fields; the
+//! derived-rate fields (`events_per_sec`, `ns_per_event`) carry
+//! documented allows below, and everything else in `BENCH.json` is
+//! provably clock-free.
 //!
 //! ```sh
 //! cargo run --release -p cdna-bench --bin perf            # full suite
@@ -165,8 +169,10 @@ fn write_json(
         w.key("wall_ms_max");
         w.number_f64(m.wall_ms_max);
         w.key("events_per_sec");
+        // cdna-check: allow(clock-purity): per-entry simulator speed is wall-derived by definition, reported not compared
         w.number_f64(m.events_processed as f64 / (m.wall_ms / 1e3));
         w.key("ns_per_event");
+        // cdna-check: allow(clock-purity): wall-derived per-event cost, reported not compared
         w.number_f64(m.wall_ms * 1e6 / m.events_processed as f64);
         w.end_object();
     }
@@ -174,33 +180,35 @@ fn write_json(
 
     // Aggregates: whole suite, plus the 24-guest subset the paper's
     // scalability story (and the perf acceptance bar) cares about.
-    let agg = |filter: &dyn Fn(&Measured) -> bool| -> (u64, f64) {
-        let events: u64 = results
-            .iter()
-            .filter(|m| filter(m))
-            .map(|m| m.events_processed)
-            .sum();
-        let wall_ms: f64 = results
-            .iter()
-            .filter(|m| filter(m))
-            .map(|m| m.wall_ms)
-            .sum();
-        (events, wall_ms)
-    };
-    let (all_events, all_wall) = agg(&|_| true);
-    let (g24_events, g24_wall) = agg(&|m| m.entry.guests == 24);
+    // Separate sums rather than one tuple-returning closure, so
+    // cdna-check's clock-purity taint sees exactly which aggregates
+    // are wall-derived (tuple destructuring would hide the flow).
+    let all_events: u64 = results.iter().map(|m| m.events_processed).sum();
+    let all_wall_ms: f64 = results.iter().map(|m| m.wall_ms).sum();
+    let g24_events: u64 = results
+        .iter()
+        .filter(|m| m.entry.guests == 24)
+        .map(|m| m.events_processed)
+        .sum();
+    let g24_wall_ms: f64 = results
+        .iter()
+        .filter(|m| m.entry.guests == 24)
+        .map(|m| m.wall_ms)
+        .sum();
     w.key("aggregate");
     w.begin_object();
     w.key("events_processed");
     w.number_u64(all_events);
     w.key("wall_ms");
-    w.number_f64(all_wall);
+    w.number_f64(all_wall_ms);
     w.key("wall_ms_parallel");
     w.number_f64(wall_ms_parallel);
     w.key("events_per_sec");
-    w.number_f64(all_events as f64 / (all_wall / 1e3));
+    // cdna-check: allow(clock-purity): wall-derived by definition — a measured rate, never a compared field (BENCH.json diffs exclude it)
+    w.number_f64(all_events as f64 / (all_wall_ms / 1e3));
     w.key("events_per_sec_24g");
-    w.number_f64(g24_events as f64 / (g24_wall / 1e3));
+    // cdna-check: allow(clock-purity): wall-derived throughput for the 24-guest scalability bar, reported not compared
+    w.number_f64(g24_events as f64 / (g24_wall_ms / 1e3));
     w.end_object();
     w.end_object();
     w.finish()

@@ -353,30 +353,71 @@ fn manifest_dep_edges(rel: &str, text: &str) -> Vec<ManifestDep> {
     out
 }
 
-/// Runs the complete v2 pipeline over in-memory sources: token rules,
+/// Everything one file contributes to the pipeline, produced by
+/// [`scan_file`] on whichever worker picked the file up. Merging these
+/// in path order (the caller's file order is sorted) makes the whole
+/// analysis independent of the worker count — the property CDNA014
+/// demands of every other fan-out in the workspace.
+struct FileScan {
+    rel: String,
+    diags: Vec<Diagnostic>,
+    graph_file: GraphFile,
+    allows: Allows,
+}
+
+/// The per-file half of the pipeline: scrub, tokenize, token rules,
+/// symbol parse, allow harvest. Pure function of the file — safe to
+/// run on any worker.
+fn scan_file(f: &SourceFile) -> FileScan {
+    let scrubbed = scrub(&f.text);
+    let tokens = tokenize(&scrubbed.masked);
+    let tests = test_lines(&tokens);
+    let diags = token_rule_diags(&f.rel, f.kind, &f.text, &tokens, &tests);
+    FileScan {
+        rel: f.rel.clone(),
+        diags,
+        graph_file: GraphFile {
+            symbols: parse_file(&f.rel, &tokens),
+            kind: f.kind,
+            test_lines: tests,
+            strings: scrubbed.strings,
+        },
+        allows: scrubbed.allows,
+    }
+}
+
+/// Runs the complete pipeline over in-memory sources: token rules,
 /// symbol-graph passes, manifest checks, allow suppression with "used"
-/// accounting, and the `unused-allow` audit.
+/// accounting, and the `unused-allow` audit — on a single worker.
 ///
 /// `manifests` are `(repo-relative path, text)` pairs.
 pub fn analyze(files: &[SourceFile], manifests: &[(String, String)]) -> Analysis {
+    analyze_jobs(files, manifests, 1)
+}
+
+/// [`analyze`], with the per-file work sharded over `jobs` workers of
+/// the `cdna_sim::par` pool. Results are merged in `files` order
+/// (index-ordered slots inside [`cdna_sim::par::run_indexed`]), so the
+/// analysis — and the serialized report built from it — is
+/// byte-identical at any worker count. The whole-workspace graph
+/// passes stay on the caller's thread: they need every file at once
+/// and are a small share of the wall time.
+pub fn analyze_jobs(files: &[SourceFile], manifests: &[(String, String)], jobs: usize) -> Analysis {
     let mut raw: Vec<Diagnostic> = Vec::new();
     let mut graph_files: Vec<GraphFile> = Vec::new();
     let mut per_file_allows: BTreeMap<String, (Allows, Vec<bool>)> = BTreeMap::new();
     let mut allow_count = 0usize;
 
-    for f in files {
-        let scrubbed = scrub(&f.text);
-        let tokens = tokenize(&scrubbed.masked);
-        let tests = test_lines(&tokens);
-        raw.extend(token_rule_diags(&f.rel, f.kind, &f.text, &tokens, &tests));
-        graph_files.push(GraphFile {
-            symbols: parse_file(&f.rel, &tokens),
-            kind: f.kind,
-            test_lines: tests,
+    let scans =
+        cdna_sim::par::run_indexed(jobs, (0..files.len()).collect::<Vec<usize>>(), |_, i| {
+            scan_file(&files[i])
         });
-        allow_count += scrubbed.allows.count();
-        let used = vec![false; scrubbed.allows.count()];
-        per_file_allows.insert(f.rel.clone(), (scrubbed.allows, used));
+    for scan in scans {
+        raw.extend(scan.diags);
+        graph_files.push(scan.graph_file);
+        allow_count += scan.allows.count();
+        let used = vec![false; scan.allows.count()];
+        per_file_allows.insert(scan.rel, (scan.allows, used));
     }
 
     let mut manifest_deps = Vec::new();
@@ -386,13 +427,17 @@ pub fn analyze(files: &[SourceFile], manifests: &[(String, String)]) -> Analysis
     }
 
     let graph = SymbolGraph::build(graph_files, manifest_deps);
-    let passes: [&dyn Pass; 6] = [
+    let passes: [&dyn Pass; 10] = [
         &LayeringPass,
         &MustPairPass,
         &ExhaustiveFaultPass,
         &crate::taint::GuestTaintPass,
         &crate::locks::LockOrderPass,
         &crate::locks::SendAuditPass,
+        &crate::determinism::MergeOrderPass,
+        &crate::determinism::ClockPurityPass,
+        &crate::determinism::JobsLeakPass,
+        &crate::determinism::FloatAccumPass,
     ];
     raw.extend(crate::graph::run_passes(&graph, &passes));
 

@@ -2,9 +2,11 @@
 //! fire.
 //!
 //! A static analysis that never fires is indistinguishable from one
-//! that is broken, so every dataflow rule ships with a seeded-violation
-//! fixture under `crates/check/tests/corpus/` (a directory the
-//! repository walker exempts from the real scan). Each fixture is one
+//! that is broken, so every dataflow rule — the taint/lock passes
+//! (CDNA011–013) and the determinism-soundness passes (CDNA014–017) —
+//! ships with a seeded-violation fixture under
+//! `crates/check/tests/corpus/` (a directory the repository walker
+//! exempts from the real scan). Each fixture is one
 //! physical file describing a *virtual multi-file workspace* plus the
 //! exact diagnostics it must produce:
 //!

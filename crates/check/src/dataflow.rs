@@ -30,18 +30,34 @@ pub struct Dataflow<'g> {
     /// The underlying symbol graph.
     pub graph: &'g SymbolGraph,
     /// Analyzed nodes as `(file index, fn index)` into the graph:
-    /// library files only, `#[cfg(test)]` items excluded.
+    /// library files (plus binaries under
+    /// [`Dataflow::build_with_binaries`]), `#[cfg(test)]` items
+    /// excluded.
     pub nodes: Vec<(usize, usize)>,
     by_name: BTreeMap<String, Vec<usize>>,
 }
 
 impl<'g> Dataflow<'g> {
-    /// Builds the node set and the name index.
+    /// Builds the node set and the name index (library files only).
     pub fn build(graph: &'g SymbolGraph) -> Self {
+        Self::build_filtered(graph, false)
+    }
+
+    /// Like [`Dataflow::build`], but the node set also includes binary
+    /// entry points (`main.rs`, `src/bin/*`). The determinism rules
+    /// (CDNA014–017) police serialization and merge sites that live in
+    /// bench binaries, which the library-only rules deliberately skip.
+    pub fn build_with_binaries(graph: &'g SymbolGraph) -> Self {
+        Self::build_filtered(graph, true)
+    }
+
+    fn build_filtered(graph: &'g SymbolGraph, include_binaries: bool) -> Self {
         let mut nodes = Vec::new();
         let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
         for (fi, file) in graph.files.iter().enumerate() {
-            if file.kind != FileKind::Library {
+            let included = file.kind == FileKind::Library
+                || (include_binaries && file.kind == FileKind::Binary);
+            if !included {
                 continue;
             }
             for (gi, f) in file.symbols.fns.iter().enumerate() {
@@ -186,9 +202,17 @@ pub fn let_binding(body: &[Token], stmt: usize) -> Option<String> {
 }
 
 /// The token range strictly inside the parentheses of the call whose
-/// callee token is at `call_pos` (i.e. `call_pos + 1` is the `(`).
+/// callee token is at `call_pos` (usually `call_pos + 1` is the `(`; a
+/// turbofish like `sum::<f64>(…)` is tolerated by skipping to the
+/// opening paren).
 pub fn arg_region(body: &[Token], call_pos: usize) -> (usize, usize) {
-    let open = call_pos + 1;
+    let mut open = call_pos + 1;
+    while open < body.len() && body[open].text != "(" {
+        if body[open].text == ";" {
+            return (open, open); // statement ends with no call parens
+        }
+        open += 1;
+    }
     let mut par = 0i32;
     let mut i = open;
     while i < body.len() {

@@ -23,6 +23,14 @@
 //!   reap on all non-panic paths, via a CFG-lite token walk), and
 //!   `exhaustive-fault` (no wildcard `match` on `FaultKind`/`MemError`/
 //!   `ShadowViolation`).
+//! * **Determinism-soundness passes** ([`determinism`], on the
+//!   [`dataflow`] substrate): `merge-order`, `clock-purity`,
+//!   `jobs-leak`, and `float-accum` prove the repo's
+//!   `--jobs 1 ≡ --jobs N` byte-identity guarantee over the code
+//!   instead of sampling it with differential tests. The scanner also
+//!   eats the dogfood: [`analyses::analyze_jobs`] shards per-file work
+//!   over `cdna_sim::par` and merges in path order, so its own report
+//!   is byte-identical at any worker count.
 //! * **Dynamic pass** ([`shadow`]): a [`DmaShadow`] that mirrors every
 //!   page through the `Free → Owned → Pinned → InFlight → Completed`
 //!   lifecycle and every context's sequence stream, independently
@@ -37,6 +45,7 @@
 pub mod analyses;
 pub mod calibrate;
 pub mod dataflow;
+pub mod determinism;
 pub mod graph;
 pub mod lexer;
 pub mod locks;
@@ -46,8 +55,9 @@ pub mod rules;
 pub mod shadow;
 pub mod taint;
 
-pub use analyses::{analyze, Analysis, SourceFile};
+pub use analyses::{analyze, analyze_jobs, Analysis, SourceFile};
 pub use report::render_json;
+pub use rules::check_repo_jobs;
 pub use rules::{
     check_manifest, check_repo, check_source, rule_code, rule_severity, Diagnostic, FileKind,
     StaticReport, RULE_NAMES,

@@ -4,10 +4,19 @@
 //! ```text
 //! cargo run -p cdna-check                 # scan, print diagnostics
 //! cargo run -p cdna-check -- --json out.json   # also write JSON report
+//! cargo run -p cdna-check -- --jobs 4     # fan the scan out (same bytes)
+//! cargo run -p cdna-check -- --format github  # ::error annotations
 //! cargo run -p cdna-check -- --root /path/to/repo
 //! cargo run -p cdna-check -- --baseline old-report.json   # ratchet mode
 //! cargo run -p cdna-check -- --calibrate  # seeded-fixture calibration
 //! ```
+//!
+//! **Parallel scan** (`--jobs N`, or the `CDNA_JOBS` env var): per-file
+//! lex/parse/pass work is sharded over the `cdna_sim::par` worker pool
+//! and merged in path order, so the output — terminal, annotations, and
+//! the JSON artifact — is byte-identical at any worker count. The
+//! scanner self-hosts the determinism guarantee CDNA014–017 enforce on
+//! everything else.
 //!
 //! **Ratchet mode** (`--baseline`): violations already present in the
 //! given report (matched by rule + file + line) are printed as
@@ -18,36 +27,66 @@
 //!
 //! **Calibration mode** (`--calibrate`): runs the seeded-violation
 //! fixtures under `crates/check/tests/corpus/` and exits 1 unless every
-//! seeded CDNA011/012/013 violation is caught at its exact file:line
+//! seeded violation (CDNA011–017) is caught at its exact file:line
 //! (and nothing else fires) — the proof that the analyses actually
 //! detect what they claim to.
+//!
+//! **GitHub annotations** (`--format github`): diagnostics print as
+//! workflow commands (`::error file=…,line=…::CDNA014 …`) that GitHub
+//! renders inline on the PR diff. The summary line and JSON artifact
+//! are unchanged.
 
-use cdna_check::{calibrate, check_repo, render_json, report::parse_baseline, workspace_root};
+use cdna_check::{
+    calibrate, check_repo_jobs, render_json, report::parse_baseline, report::render_github,
+    workspace_root,
+};
 use std::path::PathBuf;
+
+fn usage() -> ! {
+    println!(
+        "usage: cdna-check [--root DIR] [--jobs N] [--json REPORT.json] \
+         [--format text|github] [--baseline REPORT.json] [--calibrate]"
+    );
+    std::process::exit(0);
+}
 
 fn main() {
     let mut root = workspace_root();
     let mut json_path: Option<PathBuf> = None;
     let mut baseline_path: Option<PathBuf> = None;
     let mut run_calibration = false;
+    let mut jobs: Option<usize> = None;
+    let mut github = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json_path = args.next().map(PathBuf::from),
             "--baseline" => baseline_path = args.next().map(PathBuf::from),
             "--calibrate" => run_calibration = true,
+            "--jobs" => {
+                jobs = args.next().and_then(|v| v.parse().ok());
+                if jobs.is_none() {
+                    eprintln!("cdna-check: --jobs expects a positive integer");
+                    std::process::exit(2);
+                }
+            }
+            "--format" => match args.next().as_deref() {
+                Some("github") => github = true,
+                Some("text") => github = false,
+                other => {
+                    eprintln!(
+                        "cdna-check: unknown format `{}` (expected text|github)",
+                        other.unwrap_or("")
+                    );
+                    std::process::exit(2);
+                }
+            },
             "--root" => {
                 if let Some(r) = args.next() {
                     root = PathBuf::from(r);
                 }
             }
-            "--help" | "-h" => {
-                println!(
-                    "usage: cdna-check [--root DIR] [--json REPORT.json] \
-                     [--baseline REPORT.json] [--calibrate]"
-                );
-                return;
-            }
+            "--help" | "-h" => usage(),
             other => {
                 eprintln!("cdna-check: unknown argument `{other}`");
                 std::process::exit(2);
@@ -92,13 +131,19 @@ fn main() {
         None => None,
     };
 
-    let report = match check_repo(&root) {
+    let report = match check_repo_jobs(&root, jobs) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("cdna-check: scan failed: {e}");
             std::process::exit(2);
         }
     };
+
+    if github {
+        // Annotation lines for the PR overlay; stdout so the workflow
+        // command processor sees them.
+        print!("{}", render_github(&report));
+    }
 
     let mut new_violations = 0usize;
     let mut baselined = 0usize;
@@ -109,10 +154,14 @@ fn main() {
         });
         if known {
             baselined += 1;
-            println!("{} [baselined]", d.render());
+            if !github {
+                println!("{} [baselined]", d.render());
+            }
         } else {
             new_violations += 1;
-            println!("{}", d.render());
+            if !github {
+                println!("{}", d.render());
+            }
         }
     }
     println!(

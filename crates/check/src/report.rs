@@ -1,13 +1,14 @@
 //! Machine-readable JSON report for CI, built on `cdna-trace`'s
 //! [`JsonWriter`] so the checker stays dependency-free.
 //!
-//! Shape (`schema_version` 3 — since the dataflow rules CDNA011–013;
-//! version 2 covered the symbol-graph rules):
+//! Shape (`schema_version` 4 — since the determinism-soundness rules
+//! CDNA014–017 and the parallel self-hosted scan; version 3 covered
+//! the dataflow rules CDNA011–013, version 2 the symbol-graph rules):
 //!
 //! ```json
 //! {
 //!   "tool": "cdna-check",
-//!   "schema_version": 3,
+//!   "schema_version": 4,
 //!   "clean": false,
 //!   "files_scanned": 42,
 //!   "manifests_scanned": 11,
@@ -22,7 +23,10 @@
 //! ```
 //!
 //! `counts` and `diagnostics` are sorted, so the report is byte-stable
-//! across runs — diffable in CI artifacts. Rule codes (`CDNA001`…) are
+//! across runs — diffable in CI artifacts — and, because the scan
+//! itself merges per-file work in path order, byte-identical at any
+//! `--jobs` count (the worker count is deliberately *not* a report
+//! field; CDNA016 would flag it). Rule codes (`CDNA001`…) are
 //! append-only: a rule rename never reassigns a code, so report diffs
 //! across PRs stay meaningful.
 
@@ -32,7 +36,31 @@ use std::collections::BTreeMap;
 
 /// The report schema version; bump when a field changes meaning or is
 /// removed (adding fields is not a bump).
-pub const SCHEMA_VERSION: u64 = 3;
+pub const SCHEMA_VERSION: u64 = 4;
+
+/// Renders a [`StaticReport`] as GitHub workflow-command annotation
+/// lines (`::error file=…,line=…::CDNA003 message`), one per
+/// diagnostic, so CI surfaces violations inline on the PR diff. The
+/// JSON artifact remains the machine-readable record; this is the
+/// human-facing overlay. Newlines inside messages are escaped per the
+/// workflow-command syntax (`%0A`).
+pub fn render_github(report: &StaticReport) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        let msg = format!("{} {}", rule_code(d.rule), d.message)
+            .replace('%', "%25")
+            .replace('\r', "%0D")
+            .replace('\n', "%0A");
+        out.push_str(&format!(
+            "::{} file={},line={}::{}\n",
+            rule_severity(d.rule),
+            d.file,
+            d.line,
+            msg
+        ));
+    }
+    out
+}
 
 /// Renders a [`StaticReport`] as a JSON document.
 pub fn render_json(report: &StaticReport) -> String {
@@ -261,7 +289,7 @@ mod tests {
         };
         let json = render_json(&r);
         assert!(json.contains(r#""tool":"cdna-check""#));
-        assert!(json.contains(r#""schema_version":3"#));
+        assert!(json.contains(r#""schema_version":4"#));
         assert!(json.contains(r#""clean":true"#));
         assert!(json.contains(r#""files_scanned":3"#));
         assert!(json.contains(r#""diagnostics":[]"#));
@@ -298,6 +326,38 @@ mod tests {
     }
 
     #[test]
+    fn github_format_annotates_per_diagnostic() {
+        let r = StaticReport {
+            diagnostics: vec![
+                Diagnostic {
+                    rule: "merge-order",
+                    file: "crates/x/src/y.rs".into(),
+                    line: 9,
+                    message: "arrival order".into(),
+                },
+                Diagnostic {
+                    rule: "unused-allow",
+                    file: "a.rs".into(),
+                    line: 2,
+                    message: "two\nlines".into(),
+                },
+            ],
+            files_scanned: 1,
+            manifests_scanned: 0,
+            allow_count: 0,
+        };
+        let out = render_github(&r);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(
+            lines[0],
+            "::error file=crates/x/src/y.rs,line=9::CDNA014 arrival order"
+        );
+        assert_eq!(lines[1], "::warning file=a.rs,line=2::CDNA007 two%0Alines");
+        assert_eq!(lines.len(), 2);
+        assert!(render_github(&StaticReport::default()).is_empty());
+    }
+
+    #[test]
     fn rule_codes_are_stable_and_unique() {
         use crate::rules::{rule_code, rule_severity, RULE_NAMES};
         let codes: Vec<&str> = RULE_NAMES.iter().map(|r| rule_code(r)).collect();
@@ -310,7 +370,12 @@ mod tests {
         assert_eq!(rule_code("guest-taint"), "CDNA011");
         assert_eq!(rule_code("lock-order"), "CDNA012");
         assert_eq!(rule_code("send-audit"), "CDNA013");
+        assert_eq!(rule_code("merge-order"), "CDNA014");
+        assert_eq!(rule_code("clock-purity"), "CDNA015");
+        assert_eq!(rule_code("jobs-leak"), "CDNA016");
+        assert_eq!(rule_code("float-accum"), "CDNA017");
         assert_eq!(rule_severity("unused-allow"), "warning");
+        assert_eq!(rule_severity("merge-order"), "error");
         assert_eq!(rule_severity("must-pair"), "error");
         assert_eq!(rule_severity("guest-taint"), "error");
     }

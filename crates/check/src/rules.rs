@@ -18,19 +18,24 @@
 //! | `guest-taint` | CDNA011 | guest-controlled data reaches a pin/DMA/ring sink unvalidated |
 //! | `lock-order` | CDNA012 | lock-order cycle or lock held across a call that locks |
 //! | `send-audit` | CDNA013 | non-`Send`-safe field in a type crossing the queue `Send` seam |
+//! | `merge-order` | CDNA014 | fan-out results merged in arrival order or through a `Hash*` container |
+//! | `clock-purity` | CDNA015 | wall-clock value serialized outside a `wall_ms*` field |
+//! | `jobs-leak` | CDNA016 | worker count/index or thread identity in compared serialization |
+//! | `float-accum` | CDNA017 | order-unstable data fed into an `f64` reduction |
 //!
 //! CDNA007–010 are produced by the symbol-graph passes in
 //! [`crate::analyses`], CDNA011–013 by the dataflow passes in
-//! [`crate::taint`] and [`crate::locks`]; this module owns the
-//! token-level rules, the rule registry (names, codes, severities), and
-//! the repository walker.
+//! [`crate::taint`] and [`crate::locks`], CDNA014–017 by the
+//! determinism-soundness passes in [`crate::determinism`]; this module
+//! owns the token-level rules, the rule registry (names, codes,
+//! severities), and the repository walker.
 
-use crate::analyses::{analyze, SourceFile};
+use crate::analyses::SourceFile;
 use crate::lexer::{scrub, test_lines, tokenize, Token};
 use std::path::{Path, PathBuf};
 
 /// Names of every static rule, in report order.
-pub const RULE_NAMES: [&str; 13] = [
+pub const RULE_NAMES: [&str; 17] = [
     "sim-time",
     "nondeterministic-map",
     "panic",
@@ -44,6 +49,10 @@ pub const RULE_NAMES: [&str; 13] = [
     "guest-taint",
     "lock-order",
     "send-audit",
+    "merge-order",
+    "clock-purity",
+    "jobs-leak",
+    "float-accum",
 ];
 
 /// Stable machine-readable code for a rule (`CDNA001`…), used by the
@@ -63,6 +72,10 @@ pub fn rule_code(rule: &str) -> &'static str {
         "guest-taint" => "CDNA011",
         "lock-order" => "CDNA012",
         "send-audit" => "CDNA013",
+        "merge-order" => "CDNA014",
+        "clock-purity" => "CDNA015",
+        "jobs-leak" => "CDNA016",
+        "float-accum" => "CDNA017",
         _ => "CDNA000",
     }
 }
@@ -151,7 +164,8 @@ pub fn check_source(rel: &str, kind: FileKind, src: &str) -> (Vec<Diagnostic>, u
 }
 
 /// Runs the token-level rules over one scrubbed file, *without* allow
-/// suppression — the whole-workspace pipeline ([`analyze`]) filters
+/// suppression — the whole-workspace pipeline
+/// ([`crate::analyses::analyze`]) filters
 /// later so it can tell which allows were actually used.
 pub(crate) fn token_rule_diags(
     rel: &str,
@@ -440,8 +454,19 @@ pub fn classify(rel: &str) -> Option<FileKind> {
 ///
 /// Scans `src/`, `tests/`, `examples/` at the root and under each
 /// `crates/*`, plus every `Cargo.toml`. Paths are sorted so output is
-/// deterministic.
+/// deterministic. Per-file work runs on one worker; see
+/// [`check_repo_jobs`] for the fanned-out scan.
 pub fn check_repo(root: &Path) -> std::io::Result<StaticReport> {
+    check_repo_jobs(root, Some(1))
+}
+
+/// [`check_repo`], with per-file lex/parse/token-rule work sharded over
+/// `jobs` workers of the `cdna_sim::par` pool (`None` resolves the
+/// worker count like every other binary: `CDNA_JOBS`, then available
+/// parallelism). The scanner self-hosts the guarantee it checks: the
+/// merge is path-ordered, so the report is byte-identical at any
+/// worker count.
+pub fn check_repo_jobs(root: &Path, jobs: Option<usize>) -> std::io::Result<StaticReport> {
     let mut rs_files: Vec<PathBuf> = Vec::new();
     let mut manifests: Vec<PathBuf> = vec![root.join("Cargo.toml")];
 
@@ -489,7 +514,8 @@ pub fn check_repo(root: &Path) -> std::io::Result<StaticReport> {
         manifest_srcs.push((rel_path(root, path), std::fs::read_to_string(path)?));
     }
 
-    let analysis = analyze(&sources, &manifest_srcs);
+    let resolved = cdna_sim::par::resolve_jobs(jobs, sources.len());
+    let analysis = crate::analyses::analyze_jobs(&sources, &manifest_srcs, resolved);
     Ok(StaticReport {
         diagnostics: analysis.diagnostics,
         files_scanned: sources.len(),

@@ -1,0 +1,44 @@
+// cdna-expect: float-accum crates/bench/src/stats.rs:15
+// cdna-expect: float-accum crates/bench/src/stats.rs:25
+// cdna-fixture-file: crates/sim/src/par.rs
+//! Worker-pool stubs for the float-accum fixture.
+use std::sync::{Mutex, MutexGuard};
+/// Poison-tolerant lock helper (its body is the acquisition itself).
+pub fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+/// Index-ordered fan-out primitive (stub: runs the workers inline).
+pub fn run_indexed<T, R>(jobs: usize, items: Vec<T>, f: impl Fn(usize, T) -> R) -> Vec<R> {
+    let _ = jobs;
+    items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect()
+}
+// cdna-fixture-file: crates/bench/src/stats.rs
+//! Reduction fixtures for the float-accum rule.
+use std::sync::Mutex;
+use cdna_sim::par::{lock, run_indexed};
+/// Sums a sample slice (the reducing callee).
+fn total_of(samples: &[f64]) -> f64 {
+    samples.iter().sum::<f64>()
+}
+/// Reduces arrival-order-merged floats: the seeded direct case.
+pub fn mean_half(jobs: usize, items: Vec<f64>) -> f64 {
+    let acc = Mutex::new(Vec::new());
+    let halves = run_indexed(jobs, items, |_, x| x * 0.5);
+    for h in halves {
+        lock(&acc).push(h);
+    }
+    let total: f64 = lock(&acc).iter().sum();
+    total / 2.0
+}
+/// Reduces through a helper: the seeded transitive case.
+pub fn skew(jobs: usize, items: Vec<f64>) -> f64 {
+    let acc = Mutex::new(Vec::new());
+    let doubles = run_indexed(jobs, items, |_, x| x + x);
+    for d in doubles {
+        lock(&acc).push(d);
+    }
+    total_of(&lock(&acc))
+}
